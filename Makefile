@@ -1,0 +1,17 @@
+# Tier-1 verify and dev conveniences. `just` mirrors these recipes.
+
+.PHONY: test lint fmt build
+
+# Matches the tier-1 verify in ROADMAP.md exactly.
+test:
+	cargo build --release && cargo test -q
+
+lint:
+	cargo fmt --all -- --check
+	cargo clippy --all-targets -- -D warnings
+
+fmt:
+	cargo fmt --all
+
+build:
+	cargo build --release

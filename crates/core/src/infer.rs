@@ -1,0 +1,251 @@
+//! Batch inference and evaluation for trained ZSL models.
+//!
+//! A [`Classifier`] pairs a [`ProjectionModel`] with a bank of class
+//! signatures: features are projected into attribute space and scored against
+//! every signature with the configured [`Similarity`]. Evaluation helpers
+//! cover the standard ZSL protocol (mean per-class accuracy) and the
+//! generalized protocol (harmonic mean of seen and unseen accuracy).
+
+use crate::linalg::{Matrix, NORM_EPSILON};
+use crate::model::ProjectionModel;
+
+/// Scoring function between a projected sample and a class signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Similarity {
+    /// Cosine similarity — scale invariant, the usual ZSL choice.
+    #[default]
+    Cosine,
+    /// Raw dot product — cheaper, appropriate when signatures are already
+    /// normalized.
+    Dot,
+}
+
+/// A ranked prediction: class indices ordered best-first with their scores.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopK {
+    /// Class indices, best first.
+    pub classes: Vec<usize>,
+    /// Similarity scores aligned with `classes`.
+    pub scores: Vec<f64>,
+}
+
+/// Scores projected features against a fixed bank of class signatures.
+#[derive(Clone, Debug)]
+pub struct Classifier {
+    model: ProjectionModel,
+    /// `num_classes x attr_dim`, one row per candidate class.
+    signatures: Matrix,
+    similarity: Similarity,
+}
+
+impl Classifier {
+    /// Build a classifier over `signatures` (`num_classes x attr_dim`).
+    /// Panics if the signature bank is empty or its width does not match the
+    /// model's attribute dimension.
+    pub fn new(model: ProjectionModel, signatures: Matrix, similarity: Similarity) -> Self {
+        assert!(
+            signatures.rows() > 0,
+            "classifier needs at least one class signature"
+        );
+        assert_eq!(
+            model.weights().cols(),
+            signatures.cols(),
+            "model attribute dim {} != signature dim {}",
+            model.weights().cols(),
+            signatures.cols()
+        );
+        Classifier {
+            model,
+            signatures,
+            similarity,
+        }
+    }
+
+    /// Number of candidate classes.
+    pub fn num_classes(&self) -> usize {
+        self.signatures.rows()
+    }
+
+    /// The underlying projection model.
+    pub fn model(&self) -> &ProjectionModel {
+        &self.model
+    }
+
+    /// Full score matrix: `n_samples x num_classes`.
+    pub fn scores(&self, x: &Matrix) -> Matrix {
+        let mut projected = self.model.project(x);
+        let mut signatures = self.signatures.clone();
+        if self.similarity == Similarity::Cosine {
+            projected.l2_normalize_rows();
+            signatures.l2_normalize_rows();
+        }
+        projected.matmul(&signatures.transpose())
+    }
+
+    /// Argmax prediction per sample.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.scores(x)
+            .as_slice()
+            .chunks(self.num_classes())
+            .map(argmax)
+            .collect()
+    }
+
+    /// Best-`k` ranked predictions per sample (`k` clamped to the class count).
+    pub fn predict_topk(&self, x: &Matrix, k: usize) -> Vec<TopK> {
+        let z = self.num_classes();
+        let k = k.min(z);
+        self.scores(x)
+            .as_slice()
+            .chunks(z)
+            .map(|row| {
+                let mut order: Vec<usize> = (0..z).collect();
+                order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
+                order.truncate(k);
+                let scores = order.iter().map(|&c| row[c]).collect();
+                TopK {
+                    classes: order,
+                    scores,
+                }
+            })
+            .collect()
+    }
+}
+
+fn argmax(row: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Fraction of samples where `predicted[i] == truth[i]`.
+/// Panics if lengths differ; returns 0 for empty input.
+pub fn overall_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Per-class accuracy over `num_classes` classes. Classes with no ground-truth
+/// samples yield `None`.
+pub fn per_class_accuracy(
+    predicted: &[usize],
+    truth: &[usize],
+    num_classes: usize,
+) -> Vec<Option<f64>> {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let mut hits = vec![0usize; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        assert!(t < num_classes, "truth label {t} out of range");
+        counts[t] += 1;
+        if p == t {
+            hits[t] += 1;
+        }
+    }
+    hits.iter()
+        .zip(&counts)
+        .map(|(&h, &c)| (c > 0).then(|| h as f64 / c as f64))
+        .collect()
+}
+
+/// Mean of the defined per-class accuracies — the standard ZSL metric, which
+/// is robust to class imbalance. Returns 0 when no class has samples.
+pub fn mean_per_class_accuracy(predicted: &[usize], truth: &[usize], num_classes: usize) -> f64 {
+    let per_class = per_class_accuracy(predicted, truth, num_classes);
+    let defined: Vec<f64> = per_class.into_iter().flatten().collect();
+    if defined.is_empty() {
+        return 0.0;
+    }
+    defined.iter().sum::<f64>() / defined.len() as f64
+}
+
+/// Harmonic mean `2·s·u / (s + u)` of seen and unseen accuracy — the headline
+/// generalized-ZSL metric. Returns 0 when both inputs are (near) zero.
+pub fn harmonic_mean(seen_acc: f64, unseen_acc: f64) -> f64 {
+    let denom = seen_acc + unseen_acc;
+    if denom <= NORM_EPSILON {
+        return 0.0;
+    }
+    2.0 * seen_acc * unseen_acc / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+    use crate::model::ProjectionModel;
+
+    /// Identity projection over 2-dim "attributes" with two orthogonal classes.
+    fn toy_classifier(similarity: Similarity) -> Classifier {
+        let model = ProjectionModel::from_weights(Matrix::identity(2));
+        let signatures = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        Classifier::new(model, signatures, similarity)
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant_dot_is_not() {
+        let x = Matrix::from_rows(&[vec![10.0, 1.0], vec![0.1, 0.2]]);
+        let cos = toy_classifier(Similarity::Cosine);
+        assert_eq!(cos.predict(&x), vec![0, 1]);
+        // Scaling a sample must not change its cosine prediction.
+        let x_scaled = Matrix::from_rows(&[vec![1000.0, 100.0], vec![0.1, 0.2]]);
+        assert_eq!(cos.predict(&x_scaled), vec![0, 1]);
+
+        let dot = toy_classifier(Similarity::Dot);
+        let dot_scores = dot.scores(&x);
+        assert!((dot_scores.get(0, 0) - 10.0).abs() < 1e-12);
+        let cos_scores = cos.scores(&x);
+        assert!(cos_scores.get(0, 0) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn topk_ranks_best_first_and_clamps_k() {
+        let clf = toy_classifier(Similarity::Dot);
+        let x = Matrix::from_rows(&[vec![0.2, 0.9]]);
+        let ranked = clf.predict_topk(&x, 10);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].classes, vec![1, 0]);
+        assert!(ranked[0].scores[0] >= ranked[0].scores[1]);
+        let top1 = clf.predict_topk(&x, 1);
+        assert_eq!(top1[0].classes, vec![1]);
+    }
+
+    #[test]
+    fn accuracy_metrics_on_known_inputs() {
+        let predicted = [0, 1, 1, 2, 2, 2];
+        let truth = [0, 1, 0, 2, 2, 1];
+        assert!((overall_accuracy(&predicted, &truth) - 4.0 / 6.0).abs() < 1e-12);
+
+        let per_class = per_class_accuracy(&predicted, &truth, 4);
+        assert_eq!(per_class[0], Some(0.5));
+        assert_eq!(per_class[1], Some(0.5));
+        assert_eq!(per_class[2], Some(1.0));
+        assert_eq!(per_class[3], None);
+
+        let mpca = mean_per_class_accuracy(&predicted, &truth, 4);
+        assert!((mpca - (0.5 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class signature")]
+    fn classifier_rejects_empty_signature_bank() {
+        let model = ProjectionModel::from_weights(Matrix::identity(2));
+        Classifier::new(model, Matrix::zeros(0, 2), Similarity::Cosine);
+    }
+
+    #[test]
+    fn harmonic_mean_known_values() {
+        assert!((harmonic_mean(1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(0.8, 0.4) - 2.0 * 0.8 * 0.4 / 1.2).abs() < 1e-12);
+        assert_eq!(harmonic_mean(0.0, 0.9), 0.0);
+        assert_eq!(harmonic_mean(0.0, 0.0), 0.0);
+    }
+}

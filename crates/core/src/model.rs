@@ -1,0 +1,457 @@
+//! Closed-form training for linear zero-shot models.
+//!
+//! The central object is the ESZSL-style bilinear compatibility model: with
+//! features `X : n x d` (row per sample), one-hot labels `Y : n x z`, and
+//! seen-class signatures `S : z x a` (row per class), the trainer solves
+//!
+//! ```text
+//! W = (Xᵀ X + γ I_d)⁻¹ · Xᵀ Y S · (Sᵀ S + λ I_a)⁻¹      (W : d x a)
+//! ```
+//!
+//! which minimizes `‖X W Sᵀ − Y‖_F² + γ‖W Sᵀ‖-style` ridge objectives in one
+//! pair of SPD solves — no iterative optimization. A plain ridge regression
+//! onto per-sample attribute targets is provided as a fallback for workloads
+//! where class-level signatures are noisy.
+
+use crate::linalg::{solve_spd, LinalgError, Matrix};
+use std::borrow::Cow;
+
+/// Errors from model training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Feature matrix, label list, or signature matrix shapes disagree.
+    Shape(String),
+    /// A label referred to a class with no signature row.
+    LabelOutOfRange { label: usize, num_classes: usize },
+    /// A regularizer was zero, negative, or non-finite.
+    InvalidConfig(String),
+    /// The regularized Gram matrix could not be factored; increase the
+    /// regularizer.
+    Solver(LinalgError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Shape(msg) => write!(f, "shape error: {msg}"),
+            TrainError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            TrainError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            TrainError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<LinalgError> for TrainError {
+    fn from(e: LinalgError) -> Self {
+        TrainError::Solver(e)
+    }
+}
+
+/// A trained linear feature→attribute projection `W : d x a`.
+///
+/// Both trainers produce this; the classifier in [`crate::infer`] consumes it.
+#[derive(Clone, Debug)]
+pub struct ProjectionModel {
+    w: Matrix,
+}
+
+impl ProjectionModel {
+    /// Wrap an externally computed projection.
+    pub fn from_weights(w: Matrix) -> Self {
+        ProjectionModel { w }
+    }
+
+    /// The projection matrix `W : feature_dim x attr_dim`.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Project a batch of features (`n x d`) into attribute space (`n x a`).
+    pub fn project(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w)
+    }
+}
+
+/// Builder-style configuration for [`EszslTrainer`].
+#[derive(Clone, Debug)]
+pub struct EszslConfig {
+    /// Feature-space regularizer γ added to `Xᵀ X`.
+    pub gamma: f64,
+    /// Attribute-space regularizer λ added to `Sᵀ S`.
+    pub lambda: f64,
+    /// L2-normalize feature rows before training.
+    pub normalize_features: bool,
+    /// L2-normalize signature rows before training.
+    pub normalize_signatures: bool,
+}
+
+impl Default for EszslConfig {
+    fn default() -> Self {
+        EszslConfig {
+            gamma: 1.0,
+            lambda: 1.0,
+            normalize_features: false,
+            normalize_signatures: false,
+        }
+    }
+}
+
+impl EszslConfig {
+    /// Start from the defaults (γ = λ = 1, no normalization).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the feature-space regularizer γ. Must be positive to keep
+    /// `Xᵀ X + γI` positive-definite; enforced at train time
+    /// ([`TrainError::InvalidConfig`]).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Set the attribute-space regularizer λ. Must be positive to keep
+    /// `Sᵀ S + λI` positive-definite; enforced at train time
+    /// ([`TrainError::InvalidConfig`]).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Toggle L2 normalization of feature rows.
+    pub fn normalize_features(mut self, on: bool) -> Self {
+        self.normalize_features = on;
+        self
+    }
+
+    /// Toggle L2 normalization of signature rows.
+    pub fn normalize_signatures(mut self, on: bool) -> Self {
+        self.normalize_signatures = on;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> EszslTrainer {
+        EszslTrainer { config: self }
+    }
+}
+
+/// Closed-form ESZSL-style trainer. See the module docs for the formulation.
+#[derive(Clone, Debug, Default)]
+pub struct EszslTrainer {
+    config: EszslConfig,
+}
+
+impl EszslTrainer {
+    /// Trainer with an explicit configuration.
+    pub fn new(config: EszslConfig) -> Self {
+        EszslTrainer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EszslConfig {
+        &self.config
+    }
+
+    /// Train on features `x : n x d`, labels (indices into `signatures`
+    /// rows), and seen-class signatures `signatures : z x a`.
+    pub fn train(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        signatures: &Matrix,
+    ) -> Result<ProjectionModel, TrainError> {
+        validate_regularizer("gamma", self.config.gamma)?;
+        validate_regularizer("lambda", self.config.lambda)?;
+        let (x, s) = prepare_inputs(
+            x,
+            labels,
+            signatures,
+            self.config.normalize_features,
+            self.config.normalize_signatures,
+        )?;
+
+        let xt = x.transpose();
+
+        // Left SPD system: (Xᵀ X + γI) M = Xᵀ (Y S). Y is one-hot, so Y S is
+        // just a per-sample gather of class signatures — never materialize
+        // the n x z one-hot matrix or pay the O(n·d·z) product.
+        let mut xtx = xt.matmul(&x);
+        xtx.add_scaled_identity(self.config.gamma);
+        let ys = gather_signatures(labels, &s);
+        let xtys = xt.matmul(&ys);
+        let m = solve_spd(&xtx, &xtys)?;
+
+        // Right SPD system: W (Sᵀ S + λI) = M  ⇔  (Sᵀ S + λI) Wᵀ = Mᵀ.
+        let mut sts = s.transpose().matmul(&s);
+        sts.add_scaled_identity(self.config.lambda);
+        let wt = solve_spd(&sts, &m.transpose())?;
+
+        Ok(ProjectionModel::from_weights(wt.transpose()))
+    }
+}
+
+/// Builder-style configuration for [`RidgeTrainer`].
+#[derive(Clone, Debug)]
+pub struct RidgeConfig {
+    /// Ridge regularizer added to `Xᵀ X`.
+    pub gamma: f64,
+    /// L2-normalize feature rows before training.
+    pub normalize_features: bool,
+}
+
+impl Default for RidgeConfig {
+    fn default() -> Self {
+        RidgeConfig {
+            gamma: 1.0,
+            normalize_features: false,
+        }
+    }
+}
+
+impl RidgeConfig {
+    /// Start from the defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the ridge regularizer. Must be positive; enforced at train time
+    /// ([`TrainError::InvalidConfig`]).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Toggle L2 normalization of feature rows.
+    pub fn normalize_features(mut self, on: bool) -> Self {
+        self.normalize_features = on;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> RidgeTrainer {
+        RidgeTrainer { config: self }
+    }
+}
+
+/// Ridge-regression fallback: regress each sample's feature vector directly
+/// onto its class signature, `W = (Xᵀ X + γI)⁻¹ Xᵀ A` where row `i` of `A` is
+/// the signature of sample `i`'s class.
+///
+/// Simpler than ESZSL (no attribute-space regularizer) and useful when
+/// class-level structure is weak; produces the same [`ProjectionModel`].
+#[derive(Clone, Debug, Default)]
+pub struct RidgeTrainer {
+    config: RidgeConfig,
+}
+
+impl RidgeTrainer {
+    /// Trainer with an explicit configuration.
+    pub fn new(config: RidgeConfig) -> Self {
+        RidgeTrainer { config }
+    }
+
+    /// Train on the same inputs as [`EszslTrainer::train`].
+    pub fn train(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        signatures: &Matrix,
+    ) -> Result<ProjectionModel, TrainError> {
+        validate_regularizer("gamma", self.config.gamma)?;
+        let (x, s) = prepare_inputs(x, labels, signatures, self.config.normalize_features, false)?;
+
+        // Per-sample attribute targets A : n x a.
+        let targets = gather_signatures(labels, &s);
+
+        let xt = x.transpose();
+        let mut xtx = xt.matmul(&x);
+        xtx.add_scaled_identity(self.config.gamma);
+        let w = solve_spd(&xtx, &xt.matmul(&targets))?;
+        Ok(ProjectionModel::from_weights(w))
+    }
+}
+
+/// Regularizers must be strictly positive (and finite) to keep the shifted
+/// Gram matrices positive-definite; zero or negative values would silently
+/// train an un- or anti-regularized model.
+fn validate_regularizer(name: &str, value: f64) -> Result<(), TrainError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(TrainError::InvalidConfig(format!(
+            "{name} must be a positive finite number, got {value}"
+        )));
+    }
+    Ok(())
+}
+
+/// `Y S` for one-hot `Y` as a row gather: row `i` of the result is the
+/// signature of sample `i`'s class.
+fn gather_signatures(labels: &[usize], signatures: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(labels.len(), signatures.cols());
+    for (i, &label) in labels.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(signatures.row(label));
+    }
+    out
+}
+
+/// Validate shapes/labels and apply the requested normalizations. Inputs are
+/// only copied when a normalization actually rewrites them.
+fn prepare_inputs<'a>(
+    x: &'a Matrix,
+    labels: &[usize],
+    signatures: &'a Matrix,
+    normalize_features: bool,
+    normalize_signatures: bool,
+) -> Result<(Cow<'a, Matrix>, Cow<'a, Matrix>), TrainError> {
+    if x.rows() != labels.len() {
+        return Err(TrainError::Shape(format!(
+            "{} feature rows but {} labels",
+            x.rows(),
+            labels.len()
+        )));
+    }
+    if x.rows() == 0 {
+        return Err(TrainError::Shape("empty training set".into()));
+    }
+    let z = signatures.rows();
+    if let Some(&bad) = labels.iter().find(|&&l| l >= z) {
+        return Err(TrainError::LabelOutOfRange {
+            label: bad,
+            num_classes: z,
+        });
+    }
+    let x = if normalize_features {
+        let mut x = x.clone();
+        x.l2_normalize_rows();
+        Cow::Owned(x)
+    } else {
+        Cow::Borrowed(x)
+    };
+    let s = if normalize_signatures {
+        let mut s = signatures.clone();
+        s.l2_normalize_rows();
+        Cow::Owned(s)
+    } else {
+        Cow::Borrowed(signatures)
+    };
+    Ok((x, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticConfig;
+
+    #[test]
+    fn increasing_gamma_monotonically_shrinks_w() {
+        let ds = SyntheticConfig::new().seed(11).build();
+        let mut prev_norm = f64::INFINITY;
+        for gamma in [0.01, 0.1, 1.0, 10.0, 100.0] {
+            let model = EszslConfig::new()
+                .gamma(gamma)
+                .lambda(0.1)
+                .build()
+                .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+                .expect("train");
+            let norm = model.weights().frobenius_norm();
+            assert!(
+                norm < prev_norm,
+                "‖W‖_F did not shrink: gamma={gamma} norm={norm} prev={prev_norm}"
+            );
+            prev_norm = norm;
+        }
+    }
+
+    #[test]
+    fn trainer_rejects_nonpositive_regularizers() {
+        let ds = SyntheticConfig::new().classes(3, 1).build();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let result = EszslConfig::new().gamma(bad).build().train(
+                &ds.train_x,
+                &ds.train_labels,
+                &ds.seen_signatures,
+            );
+            assert!(
+                matches!(result, Err(TrainError::InvalidConfig(_))),
+                "gamma={bad} accepted"
+            );
+        }
+        let result = EszslConfig::new().lambda(-0.5).build().train(
+            &ds.train_x,
+            &ds.train_labels,
+            &ds.seen_signatures,
+        );
+        assert!(matches!(result, Err(TrainError::InvalidConfig(_))));
+        let result = RidgeConfig::new().gamma(0.0).build().train(
+            &ds.train_x,
+            &ds.train_labels,
+            &ds.seen_signatures,
+        );
+        assert!(matches!(result, Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn trainer_rejects_bad_labels_and_shapes() {
+        let ds = SyntheticConfig::new().classes(3, 1).build();
+        let trainer = EszslConfig::new().build();
+
+        let mut bad_labels = ds.train_labels.clone();
+        bad_labels[0] = 99;
+        assert!(matches!(
+            trainer.train(&ds.train_x, &bad_labels, &ds.seen_signatures),
+            Err(TrainError::LabelOutOfRange { label: 99, .. })
+        ));
+
+        let short_labels = &ds.train_labels[..5];
+        assert!(matches!(
+            trainer.train(&ds.train_x, short_labels, &ds.seen_signatures),
+            Err(TrainError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn eszsl_weights_shape_matches_feature_by_attr() {
+        let ds = SyntheticConfig::new().dims(7, 13).build();
+        let model = EszslConfig::new()
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train");
+        assert_eq!(model.weights().rows(), 13);
+        assert_eq!(model.weights().cols(), 7);
+        let projected = model.project(&ds.test_unseen_x);
+        assert_eq!(projected.rows(), ds.test_unseen_x.rows());
+        assert_eq!(projected.cols(), 7);
+    }
+
+    #[test]
+    fn ridge_fallback_trains_and_projects() {
+        let ds = SyntheticConfig::new().seed(77).build();
+        let model = RidgeConfig::new()
+            .gamma(0.1)
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train");
+        assert_eq!(model.weights().rows(), ds.train_x.cols());
+        assert_eq!(model.weights().cols(), ds.seen_signatures.cols());
+    }
+
+    #[test]
+    fn normalization_toggles_change_the_solution() {
+        let ds = SyntheticConfig::new().seed(5).build();
+        let plain = EszslConfig::new()
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .unwrap();
+        let normalized = EszslConfig::new()
+            .normalize_features(true)
+            .normalize_signatures(true)
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .unwrap();
+        assert!(plain.weights().max_abs_diff(normalized.weights()) > 1e-6);
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end tests exercising the whole public API:
+//! `Dataset → EszslTrainer → Classifier::predict` plus metrics.
+//!
+//! These are the anchor tests named in the roadmap: training on synthetic
+//! seen classes must classify held-out unseen classes at ≥95% accuracy.
+
+use zsl_core::data::SyntheticConfig;
+use zsl_core::infer::{
+    harmonic_mean, mean_per_class_accuracy, overall_accuracy, Classifier, Similarity,
+};
+use zsl_core::model::{EszslConfig, RidgeConfig};
+
+#[test]
+fn eszsl_classifies_unseen_classes_at_95_percent() {
+    // Attributes fully determine features (low noise) and seen classes exceed
+    // the attribute dimension, so the closed form recovers the projection.
+    let ds = SyntheticConfig::new()
+        .classes(20, 5)
+        .dims(16, 32)
+        .samples(30, 20)
+        .noise(0.05)
+        .seed(42)
+        .build();
+    let model = EszslConfig::new()
+        .gamma(1.0)
+        .lambda(1.0)
+        .build()
+        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+        .expect("train");
+    let clf = Classifier::new(model, ds.unseen_signatures.clone(), Similarity::Cosine);
+    let predictions = clf.predict(&ds.test_unseen_x);
+    let acc = mean_per_class_accuracy(&predictions, &ds.test_unseen_labels, 5);
+    assert!(acc >= 0.95, "unseen-class accuracy {acc} below 0.95");
+}
+
+#[test]
+fn eszsl_accuracy_holds_across_seeds() {
+    for seed in [7, 11, 1234, 0xC0FFEE] {
+        let ds = SyntheticConfig::new().seed(seed).build();
+        let model = EszslConfig::new()
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train");
+        let clf = Classifier::new(model, ds.unseen_signatures.clone(), Similarity::Cosine);
+        let predictions = clf.predict(&ds.test_unseen_x);
+        let acc = mean_per_class_accuracy(
+            &predictions,
+            &ds.test_unseen_labels,
+            ds.unseen_signatures.rows(),
+        );
+        assert!(acc >= 0.95, "seed {seed}: unseen accuracy {acc} below 0.95");
+    }
+}
+
+#[test]
+fn generalized_zsl_harmonic_mean_is_high_on_clean_data() {
+    let ds = SyntheticConfig::new().seed(99).build();
+    let num_seen = ds.seen_signatures.rows();
+    let num_unseen = ds.unseen_signatures.rows();
+    let model = EszslConfig::new()
+        .build()
+        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+        .expect("train");
+    // GZSL: candidates are the union of seen and unseen classes.
+    let clf = Classifier::new(model, ds.all_signatures(), Similarity::Cosine);
+
+    let seen_pred = clf.predict(&ds.test_seen_x);
+    let seen_acc = mean_per_class_accuracy(&seen_pred, &ds.test_seen_labels, num_seen);
+
+    // Unseen labels index unseen_signatures; in the union bank they are
+    // offset by the number of seen classes.
+    let unseen_pred = clf.predict(&ds.test_unseen_x);
+    let unseen_truth: Vec<usize> = ds
+        .test_unseen_labels
+        .iter()
+        .map(|&l| l + num_seen)
+        .collect();
+    let unseen_acc = mean_per_class_accuracy(&unseen_pred, &unseen_truth, num_seen + num_unseen);
+
+    let hm = harmonic_mean(seen_acc, unseen_acc);
+    assert!(
+        hm >= 0.9,
+        "GZSL harmonic mean {hm} too low (seen {seen_acc}, unseen {unseen_acc})"
+    );
+}
+
+#[test]
+fn ridge_fallback_also_transfers_to_unseen_classes() {
+    let ds = SyntheticConfig::new().seed(31).build();
+    let model = RidgeConfig::new()
+        .gamma(0.1)
+        .build()
+        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+        .expect("train");
+    let clf = Classifier::new(model, ds.unseen_signatures.clone(), Similarity::Cosine);
+    let predictions = clf.predict(&ds.test_unseen_x);
+    let acc = mean_per_class_accuracy(
+        &predictions,
+        &ds.test_unseen_labels,
+        ds.unseen_signatures.rows(),
+    );
+    assert!(acc >= 0.95, "ridge unseen accuracy {acc} below 0.95");
+}
+
+#[test]
+fn topk_contains_top1_and_pipeline_is_deterministic() {
+    let ds = SyntheticConfig::new().seed(8).build();
+    let train = || {
+        EszslConfig::new()
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train")
+    };
+    let clf_a = Classifier::new(train(), ds.unseen_signatures.clone(), Similarity::Cosine);
+    let clf_b = Classifier::new(train(), ds.unseen_signatures.clone(), Similarity::Cosine);
+
+    let top1 = clf_a.predict(&ds.test_unseen_x);
+    let top3 = clf_a.predict_topk(&ds.test_unseen_x, 3);
+    for (best, ranked) in top1.iter().zip(&top3) {
+        assert_eq!(ranked.classes.len(), 3);
+        assert_eq!(ranked.classes[0], *best, "top-1 must head the top-3 list");
+    }
+    // Same data + same config ⇒ bit-identical predictions.
+    assert_eq!(top1, clf_b.predict(&ds.test_unseen_x));
+}
+
+#[test]
+fn dot_similarity_works_with_normalized_signatures() {
+    let ds = SyntheticConfig::new().seed(63).build();
+    let model = EszslConfig::new()
+        .normalize_signatures(true)
+        .build()
+        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+        .expect("train");
+    let mut signatures = ds.unseen_signatures.clone();
+    signatures.l2_normalize_rows();
+    let clf = Classifier::new(model, signatures, Similarity::Dot);
+    let predictions = clf.predict(&ds.test_unseen_x);
+    let acc = overall_accuracy(&predictions, &ds.test_unseen_labels);
+    assert!(acc >= 0.9, "dot-similarity unseen accuracy {acc} below 0.9");
+}

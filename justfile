@@ -1,0 +1,15 @@
+# Dev recipes; `make` offers the same targets.
+
+# Tier-1 verify (matches ROADMAP.md).
+test:
+    cargo build --release && cargo test -q
+
+lint:
+    cargo fmt --all -- --check
+    cargo clippy --all-targets -- -D warnings
+
+fmt:
+    cargo fmt --all
+
+build:
+    cargo build --release
