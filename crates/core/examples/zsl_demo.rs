@@ -1,11 +1,13 @@
 //! Minimal end-to-end demo of the zero-shot pipeline:
 //! synthesize a dataset, train the closed-form ESZSL model on seen classes,
-//! classify held-out unseen classes, and report ZSL + GZSL metrics.
+//! classify held-out unseen classes through the cached parallel
+//! [`ScoringEngine`], and report ZSL + GZSL metrics.
 //!
 //! Run with: `cargo run --example zsl_demo`
 
 use zsl_core::data::SyntheticConfig;
-use zsl_core::infer::{harmonic_mean, mean_per_class_accuracy, Classifier, Similarity};
+use zsl_core::infer::{harmonic_mean, mean_per_class_accuracy, ScoringEngine, Similarity};
+use zsl_core::linalg::default_threads;
 use zsl_core::model::EszslConfig;
 
 fn main() {
@@ -26,17 +28,20 @@ fn main() {
         .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
         .expect("training failed");
 
-    // Classic ZSL: candidates are unseen classes only.
-    let zsl = Classifier::new(
+    // Classic ZSL: candidates are unseen classes only. The engine validates
+    // and normalizes the signature bank once, then scores every batch through
+    // the multi-threaded packed X·Sᵀ path.
+    let zsl = ScoringEngine::new(
         model.clone(),
         ds.unseen_signatures.clone(),
         Similarity::Cosine,
     );
+    println!("scoring threads            : {}", default_threads());
     let unseen_pred = zsl.predict(&ds.test_unseen_x);
     let zsl_acc = mean_per_class_accuracy(&unseen_pred, &ds.test_unseen_labels, num_unseen);
 
     // Generalized ZSL: candidates are the union of seen and unseen classes.
-    let gzsl = Classifier::new(model, ds.all_signatures(), Similarity::Cosine);
+    let gzsl = ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine);
     let seen_pred = gzsl.predict(&ds.test_seen_x);
     let seen_acc = mean_per_class_accuracy(&seen_pred, &ds.test_seen_labels, num_seen);
     let gzsl_unseen_pred = gzsl.predict(&ds.test_unseen_x);

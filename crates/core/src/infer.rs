@@ -1,13 +1,25 @@
 //! Batch inference and evaluation for trained ZSL models.
 //!
-//! A [`Classifier`] pairs a [`ProjectionModel`] with a bank of class
-//! signatures: features are projected into attribute space and scored against
-//! every signature with the configured [`Similarity`]. Evaluation helpers
-//! cover the standard ZSL protocol (mean per-class accuracy) and the
+//! The workhorse is the [`ScoringEngine`]: it validates and (for cosine)
+//! pre-normalizes the signature bank **once at construction**, projects
+//! feature batches into attribute space, and scores them against the cached
+//! bank through the multi-threaded packed `X·Sᵀ` kernel in [`crate::linalg`].
+//! [`ScoringEngine::scores_chunked`] streams scores chunk-by-chunk so
+//! million-sample workloads never materialize one giant score matrix.
+//!
+//! [`Classifier`] is a thin compatibility wrapper over the engine. Evaluation
+//! helpers cover the standard ZSL protocol (mean per-class accuracy) and the
 //! generalized protocol (harmonic mean of seen and unseen accuracy).
 
-use crate::linalg::{Matrix, NORM_EPSILON};
+use crate::linalg::{default_threads, Matrix, NORM_EPSILON};
 use crate::model::ProjectionModel;
+use std::cmp::Ordering;
+
+/// Rows per chunk used by [`ScoringEngine::predict`] and
+/// [`ScoringEngine::predict_topk`]: scores are reduced chunk-by-chunk, so
+/// peak score memory is `DEFAULT_CHUNK_ROWS * num_classes` doubles no matter
+/// how many samples are scored.
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
 
 /// Scoring function between a projected sample and a class signature.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -29,24 +41,47 @@ pub struct TopK {
     pub scores: Vec<f64>,
 }
 
-/// Scores projected features against a fixed bank of class signatures.
+/// Cached, parallel batch scorer: the hot path of the serving stack.
+///
+/// Construction validates the signature bank (non-empty, non-zero-width, all
+/// finite) and — for [`Similarity::Cosine`] — L2-normalizes it **once**, so
+/// per-call scoring does no bank clone, no renormalization, and no transpose:
+/// the cached bank rows are already the packed transposed-B layout the
+/// contiguous `X·Sᵀ` kernel wants. Batches are projected and scored through
+/// the row-banded multi-threaded matmul paths in [`crate::linalg`].
+///
+/// Results are bit-identical for every thread count and chunk size, so the
+/// engine can be tuned freely without perturbing golden numerics.
 #[derive(Clone, Debug)]
-pub struct Classifier {
+pub struct ScoringEngine {
     model: ProjectionModel,
-    /// `num_classes x attr_dim`, one row per candidate class.
+    /// `num_classes x attr_dim`, one row per candidate class; pre-normalized
+    /// when the similarity is cosine.
     signatures: Matrix,
     similarity: Similarity,
+    threads: usize,
 }
 
-impl Classifier {
-    /// Build a classifier over `signatures` (`num_classes x attr_dim`).
-    /// Panics if the signature bank is empty or its width does not match the
-    /// model's attribute dimension.
+impl ScoringEngine {
+    /// Build an engine over `signatures` (`num_classes x attr_dim`) using one
+    /// worker thread per available core.
+    ///
+    /// Panics if the bank is empty, zero-width, contains a non-finite value,
+    /// or its width does not match the model's attribute dimension — bad data
+    /// fails here, at construction, not at scoring time.
     pub fn new(model: ProjectionModel, signatures: Matrix, similarity: Similarity) -> Self {
-        assert!(
-            signatures.rows() > 0,
-            "classifier needs at least one class signature"
-        );
+        Self::with_threads(model, signatures, similarity, default_threads())
+    }
+
+    /// [`ScoringEngine::new`] with an explicit worker-thread count
+    /// (`0` is treated as `1`).
+    pub fn with_threads(
+        model: ProjectionModel,
+        mut signatures: Matrix,
+        similarity: Similarity,
+        threads: usize,
+    ) -> Self {
+        validate_signature_bank(&signatures);
         assert_eq!(
             model.weights().cols(),
             signatures.cols(),
@@ -54,10 +89,14 @@ impl Classifier {
             model.weights().cols(),
             signatures.cols()
         );
-        Classifier {
+        if similarity == Similarity::Cosine {
+            signatures.l2_normalize_rows();
+        }
+        ScoringEngine {
             model,
             signatures,
             similarity,
+            threads: threads.max(1),
         }
     }
 
@@ -71,55 +110,200 @@ impl Classifier {
         &self.model
     }
 
-    /// Full score matrix: `n_samples x num_classes`.
-    pub fn scores(&self, x: &Matrix) -> Matrix {
-        let mut projected = self.model.project(x);
-        let mut signatures = self.signatures.clone();
-        if self.similarity == Similarity::Cosine {
-            projected.l2_normalize_rows();
-            signatures.l2_normalize_rows();
-        }
-        projected.matmul(&signatures.transpose())
+    /// The cached signature bank (L2-normalized when the similarity is
+    /// cosine).
+    pub fn signatures(&self) -> &Matrix {
+        &self.signatures
     }
 
-    /// Argmax prediction per sample.
+    /// The configured similarity.
+    pub fn similarity(&self) -> Similarity {
+        self.similarity
+    }
+
+    /// Worker threads used by the scoring matmuls.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Full score matrix: `n_samples x num_classes`.
+    pub fn scores(&self, x: &Matrix) -> Matrix {
+        let mut projected = self.model.project_parallel(x, self.threads);
+        if self.similarity == Similarity::Cosine {
+            projected.l2_normalize_rows();
+        }
+        projected.matmul_bt_parallel(&self.signatures, self.threads)
+    }
+
+    /// Stream scores in row chunks of at most `chunk_rows` (`0` is treated as
+    /// `1`): `consume(row_offset, chunk)` receives each
+    /// `chunk_rows x num_classes` score block in order, so arbitrarily large
+    /// sample matrices are scored without materializing the full
+    /// `n x num_classes` result.
+    pub fn scores_chunked<F>(&self, x: &Matrix, chunk_rows: usize, mut consume: F)
+    where
+        F: FnMut(usize, Matrix),
+    {
+        let n = x.rows();
+        let chunk_rows = chunk_rows.max(1);
+        if chunk_rows >= n {
+            // One chunk covers everything: score the input directly instead
+            // of copying it into a slab.
+            if n > 0 {
+                consume(0, self.scores(x));
+            }
+            return;
+        }
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk_rows).min(n);
+            let slab = x.row_block(start..end);
+            consume(start, self.scores(&slab));
+            start = end;
+        }
+    }
+
+    /// Argmax prediction per sample, computed chunk-by-chunk.
+    ///
+    /// Selection uses [`f64::total_cmp`], a total order, so results are
+    /// deterministic even for non-finite scores (the old `>`-based loop lost
+    /// every NaN comparison and always fell back to class 0). Positive NaN
+    /// ranks above every finite score and surfaces in the output; note that
+    /// negative NaN ranks below everything, and a NaN *feature* poisons its
+    /// entire score row — callers that must detect corrupt inputs should
+    /// check [`ScoringEngine::scores`] for non-finite values rather than rely
+    /// on predictions alone.
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {
-        self.scores(x)
-            .as_slice()
-            .chunks(self.num_classes())
-            .map(argmax)
-            .collect()
+        let z = self.num_classes();
+        let mut out = Vec::with_capacity(x.rows());
+        self.scores_chunked(x, DEFAULT_CHUNK_ROWS, |_, scores| {
+            out.extend(scores.as_slice().chunks(z).map(argmax));
+        });
+        out
+    }
+
+    /// Best-`k` ranked predictions per sample (`k` clamped to the class
+    /// count), computed chunk-by-chunk.
+    pub fn predict_topk(&self, x: &Matrix, k: usize) -> Vec<TopK> {
+        let z = self.num_classes();
+        let k = k.min(z);
+        let mut out = Vec::with_capacity(x.rows());
+        self.scores_chunked(x, DEFAULT_CHUNK_ROWS, |_, scores| {
+            out.extend(scores.as_slice().chunks(z).map(|row| topk_row(row, k)));
+        });
+        out
+    }
+}
+
+/// Scores projected features against a fixed bank of class signatures.
+///
+/// Thin wrapper over [`ScoringEngine`], kept as the stable high-level API;
+/// construction performs the same validation and bank caching.
+#[derive(Clone, Debug)]
+pub struct Classifier {
+    engine: ScoringEngine,
+}
+
+impl Classifier {
+    /// Build a classifier over `signatures` (`num_classes x attr_dim`).
+    /// Panics under the same conditions as [`ScoringEngine::new`].
+    pub fn new(model: ProjectionModel, signatures: Matrix, similarity: Similarity) -> Self {
+        Classifier {
+            engine: ScoringEngine::new(model, signatures, similarity),
+        }
+    }
+
+    /// Number of candidate classes.
+    pub fn num_classes(&self) -> usize {
+        self.engine.num_classes()
+    }
+
+    /// The underlying projection model.
+    pub fn model(&self) -> &ProjectionModel {
+        self.engine.model()
+    }
+
+    /// The scoring engine backing this classifier.
+    pub fn engine(&self) -> &ScoringEngine {
+        &self.engine
+    }
+
+    /// Consume the wrapper, keeping the engine.
+    pub fn into_engine(self) -> ScoringEngine {
+        self.engine
+    }
+
+    /// Full score matrix: `n_samples x num_classes`.
+    pub fn scores(&self, x: &Matrix) -> Matrix {
+        self.engine.scores(x)
+    }
+
+    /// Argmax prediction per sample. See [`ScoringEngine::predict`] for the
+    /// NaN-score semantics.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.engine.predict(x)
     }
 
     /// Best-`k` ranked predictions per sample (`k` clamped to the class count).
     pub fn predict_topk(&self, x: &Matrix, k: usize) -> Vec<TopK> {
-        let z = self.num_classes();
-        let k = k.min(z);
-        self.scores(x)
-            .as_slice()
-            .chunks(z)
-            .map(|row| {
-                let mut order: Vec<usize> = (0..z).collect();
-                order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
-                order.truncate(k);
-                let scores = order.iter().map(|&c| row[c]).collect();
-                TopK {
-                    classes: order,
-                    scores,
-                }
-            })
-            .collect()
+        self.engine.predict_topk(x, k)
     }
 }
 
+/// Construction-time guard: empty, zero-width, or non-finite signature banks
+/// panic here with a pointed message instead of producing NaN scores later.
+fn validate_signature_bank(signatures: &Matrix) {
+    assert!(
+        signatures.rows() > 0,
+        "classifier needs at least one class signature"
+    );
+    assert!(
+        signatures.cols() > 0,
+        "classifier signature bank is zero-width (attr_dim = 0); every class needs at least one attribute"
+    );
+    for r in 0..signatures.rows() {
+        for (c, &v) in signatures.row(r).iter().enumerate() {
+            assert!(
+                v.is_finite(),
+                "signature bank contains non-finite value {v} at row {r}, col {c}; clean the bank before constructing a classifier"
+            );
+        }
+    }
+}
+
+/// Index of the row maximum under [`f64::total_cmp`], first index winning
+/// ties. `total_cmp` gives NaN a defined (maximal, for positive NaN) rank, so
+/// a NaN score is *selected* — and therefore visible downstream — rather than
+/// losing every `>` comparison and silently defaulting to class 0.
 fn argmax(row: &[f64]) -> usize {
     let mut best = 0;
-    for (i, &v) in row.iter().enumerate() {
-        if v > row[best] {
+    for (i, v) in row.iter().enumerate().skip(1) {
+        if v.total_cmp(&row[best]) == Ordering::Greater {
             best = i;
         }
     }
     best
+}
+
+/// Top-`k` of one score row, descending, ties broken by ascending class
+/// index. Partitions the `k` best to the front in `O(z)` with
+/// `select_nth_unstable_by`, then sorts only that slice — instead of sorting
+/// all `z` scores and truncating. The index tie-break makes the comparator a
+/// total order, so the output is identical to a full sort.
+fn topk_row(row: &[f64], k: usize) -> TopK {
+    let z = row.len();
+    let mut order: Vec<usize> = (0..z).collect();
+    let by_score_desc = |a: &usize, b: &usize| row[*b].total_cmp(&row[*a]).then(a.cmp(b));
+    if k < z {
+        order.select_nth_unstable_by(k, by_score_desc);
+        order.truncate(k);
+    }
+    order.sort_unstable_by(by_score_desc);
+    let scores = order.iter().map(|&c| row[c]).collect();
+    TopK {
+        classes: order,
+        scores,
+    }
 }
 
 /// Fraction of samples where `predicted[i] == truth[i]`.
@@ -239,6 +423,182 @@ mod tests {
     fn classifier_rejects_empty_signature_bank() {
         let model = ProjectionModel::from_weights(Matrix::identity(2));
         Classifier::new(model, Matrix::zeros(0, 2), Similarity::Cosine);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn classifier_rejects_zero_width_signature_bank() {
+        let model = ProjectionModel::from_weights(Matrix::zeros(2, 0));
+        Classifier::new(model, Matrix::zeros(3, 0), Similarity::Cosine);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn classifier_rejects_nan_in_signature_bank() {
+        let model = ProjectionModel::from_weights(Matrix::identity(2));
+        let bank = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, f64::NAN]]);
+        Classifier::new(model, bank, Similarity::Cosine);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn classifier_rejects_infinity_in_signature_bank() {
+        let model = ProjectionModel::from_weights(Matrix::identity(2));
+        let bank = Matrix::from_rows(&[vec![1.0, f64::INFINITY]]);
+        Classifier::new(model, bank, Similarity::Dot);
+    }
+
+    #[test]
+    fn argmax_surfaces_nan_instead_of_defaulting_to_class_zero() {
+        // Regression: the old `v > row[best]` loop lost every comparison
+        // against NaN, so a NaN score anywhere right of class 0 silently
+        // predicted class 0.
+        assert_eq!(argmax(&[0.5, f64::NAN, 0.9]), 1);
+        assert_eq!(argmax(&[1.0, f64::NAN]), 1);
+        // Finite rows keep ordinary argmax semantics, first index wins ties.
+        assert_eq!(argmax(&[0.1, 0.9, 0.9]), 1);
+        assert_eq!(argmax(&[2.0]), 0);
+    }
+
+    #[test]
+    fn nan_feature_scores_are_visible_and_predictions_deterministic() {
+        // A NaN feature poisons its whole score row (every dot picks the NaN
+        // up, even through zero signature entries). The scores expose the
+        // corruption to callers, and predict/predict_topk stay deterministic
+        // (total_cmp is a total order) instead of depending on incomparable
+        // `>` results.
+        let model = ProjectionModel::from_weights(Matrix::identity(2));
+        let bank = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let clf = Classifier::new(model, bank, Similarity::Dot);
+        let x = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![0.0, 1.0]]);
+        let scores = clf.scores(&x);
+        assert!(
+            scores.row(0).iter().all(|v| v.is_nan()),
+            "corruption hidden"
+        );
+        assert!(scores.row(1).iter().all(|v| v.is_finite()));
+        // The clean sample is unaffected; the poisoned one resolves to the
+        // lowest NaN-scored index under the documented total_cmp order.
+        let predictions = clf.predict(&x);
+        assert_eq!(predictions[1], 1);
+        assert_eq!(predictions[0], 0);
+        let ranked = clf.predict_topk(&x, 2);
+        assert_eq!(ranked[0].classes, vec![0, 1]);
+        assert!(ranked[0].scores.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn topk_select_nth_path_matches_full_sort_reference() {
+        let mut rng = crate::data::Rng::new(2027);
+        for z in [1usize, 2, 7, 64, 201] {
+            let row: Vec<f64> = (0..z).map(|_| rng.normal()).collect();
+            for k in [0usize, 1, 3, z / 2, z.saturating_sub(1), z, z + 5] {
+                let k = k.min(z);
+                // Reference: full sort then truncate (the old implementation).
+                let mut order: Vec<usize> = (0..z).collect();
+                order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
+                order.truncate(k);
+                let expected_scores: Vec<f64> = order.iter().map(|&c| row[c]).collect();
+
+                let got = topk_row(&row, k);
+                assert_eq!(got.classes, order, "z={z} k={k}");
+                assert_eq!(got.scores, expected_scores, "z={z} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_handles_ties_and_nans_like_full_sort() {
+        let row = [1.0, 1.0, f64::NAN, 0.5, 1.0];
+        let mut order: Vec<usize> = (0..row.len()).collect();
+        order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
+        for k in 0..=row.len() {
+            let got = topk_row(&row, k);
+            assert_eq!(got.classes, order[..k], "k={k}");
+        }
+    }
+
+    #[test]
+    fn predict_on_zero_samples_returns_empty() {
+        let clf = toy_classifier(Similarity::Cosine);
+        let x = Matrix::zeros(0, 2);
+        assert!(clf.predict(&x).is_empty());
+        assert!(clf.predict_topk(&x, 1).is_empty());
+        let scores = clf.scores(&x);
+        assert_eq!((scores.rows(), scores.cols()), (0, 2));
+    }
+
+    #[test]
+    fn single_class_bank_always_predicts_class_zero() {
+        let model = ProjectionModel::from_weights(Matrix::identity(2));
+        let bank = Matrix::from_rows(&[vec![0.3, 0.7]]);
+        let clf = Classifier::new(model, bank, Similarity::Cosine);
+        let x = Matrix::from_rows(&[vec![5.0, -1.0], vec![-2.0, 0.4]]);
+        assert_eq!(clf.predict(&x), vec![0, 0]);
+        let ranked = clf.predict_topk(&x, 4);
+        assert_eq!(ranked[0].classes, vec![0]);
+        assert_eq!(ranked[1].classes, vec![0]);
+    }
+
+    #[test]
+    fn engine_caches_normalized_bank_and_streams_chunks() {
+        let model = ProjectionModel::from_weights(Matrix::identity(3));
+        let bank = Matrix::from_rows(&[vec![3.0, 0.0, 0.0], vec![0.0, 0.0, 5.0]]);
+        let engine = ScoringEngine::new(model, bank, Similarity::Cosine);
+        // Bank was normalized once at construction.
+        for r in 0..engine.num_classes() {
+            let norm: f64 = engine
+                .signatures()
+                .row(r)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+
+        let mut rng = crate::data::Rng::new(9);
+        let x = Matrix::from_vec(10, 3, (0..30).map(|_| rng.normal()).collect());
+        let full = engine.scores(&x);
+        for chunk_rows in [0usize, 1, 3, 10, 64] {
+            let mut seen_rows = 0;
+            let mut stitched = Vec::new();
+            engine.scores_chunked(&x, chunk_rows, |offset, chunk| {
+                assert_eq!(offset, seen_rows);
+                assert_eq!(chunk.cols(), 2);
+                seen_rows += chunk.rows();
+                stitched.extend_from_slice(chunk.as_slice());
+            });
+            assert_eq!(seen_rows, 10);
+            assert_eq!(stitched, full.as_slice(), "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn engine_results_identical_across_thread_counts() {
+        let mut rng = crate::data::Rng::new(33);
+        let w = Matrix::from_vec(4, 3, (0..12).map(|_| rng.normal()).collect());
+        let bank = Matrix::from_vec(5, 3, (0..15).map(|_| rng.normal()).collect());
+        let x = Matrix::from_vec(40, 4, (0..160).map(|_| rng.normal()).collect());
+        let baseline = ScoringEngine::with_threads(
+            ProjectionModel::from_weights(w.clone()),
+            bank.clone(),
+            Similarity::Cosine,
+            1,
+        );
+        for threads in [2usize, 4, 9] {
+            let engine = ScoringEngine::with_threads(
+                ProjectionModel::from_weights(w.clone()),
+                bank.clone(),
+                Similarity::Cosine,
+                threads,
+            );
+            assert_eq!(
+                engine.scores(&x).as_slice(),
+                baseline.scores(&x).as_slice(),
+                "threads={threads}"
+            );
+            assert_eq!(engine.predict(&x), baseline.predict(&x));
+        }
     }
 
     #[test]

@@ -23,9 +23,9 @@
 //!
 //! | Module | Paper concept |
 //! |--------|---------------|
-//! | [`linalg`] | dense math: blocked matmul, Cholesky solves for the two SPD systems |
+//! | [`linalg`] | dense math: blocked + row-banded parallel matmul, packed `A·Bᵀ` kernel, Cholesky solves for the two SPD systems |
 //! | [`model`] | the closed-form trainer (Eq. `W = (XᵀX+γI)⁻¹XᵀYS(SᵀS+λI)⁻¹`) |
-//! | [`infer`] | nearest-signature classification, top-k, ZSL/GZSL metrics |
+//! | [`infer`] | [`infer::ScoringEngine`] (cached bank, parallel + chunked batch scoring), nearest-signature classification, top-k, ZSL/GZSL metrics |
 //! | [`data`]  | seeded synthetic datasets replacing the `.mat` feature dumps |
 //!
 //! ## End-to-end example
@@ -56,9 +56,9 @@ pub mod model;
 pub use data::{Dataset, Rng, SyntheticConfig};
 pub use infer::{
     harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy, Classifier,
-    Similarity, TopK,
+    ScoringEngine, Similarity, TopK,
 };
-pub use linalg::{solve_spd, Cholesky, LinalgError, Matrix};
+pub use linalg::{default_threads, solve_spd, Cholesky, LinalgError, Matrix};
 pub use model::{
     EszslConfig, EszslTrainer, ProjectionModel, RidgeConfig, RidgeTrainer, TrainError,
 };

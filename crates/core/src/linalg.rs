@@ -15,6 +15,155 @@ pub const NORM_EPSILON: f64 = 1e-12;
 /// row segment, so an A-tile, B-tile, and C-tile together stay well inside L1/L2.
 const BLOCK: usize = 64;
 
+/// Below this many multiply-adds the parallel entry points run the serial
+/// kernel instead: spawning scoped threads costs tens of microseconds, which
+/// only amortizes once there is real work to split.
+const PARALLEL_WORK_CUTOFF: usize = 1 << 17;
+
+/// Number of worker threads the hardware supports, used as the default by the
+/// parallel matmul paths and [`crate::infer::ScoringEngine`]. Falls back to 1
+/// when the platform cannot report its parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Blocked `i-k-j` kernel over raw row-major slabs: `out += a * b` where `a`
+/// is `n x k_dim`, `b` is `k_dim x m`, and `out` is `n x m` (must be zeroed by
+/// the caller). Shared by the serial and row-banded parallel matmul paths so
+/// both produce bit-identical results.
+fn gemm_into(a: &[f64], n: usize, k_dim: usize, b: &[f64], m: usize, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), n * k_dim);
+    debug_assert_eq!(b.len(), k_dim * m);
+    debug_assert_eq!(out.len(), n * m);
+    for ii in (0..n).step_by(BLOCK) {
+        let i_end = (ii + BLOCK).min(n);
+        for kk in (0..k_dim).step_by(BLOCK) {
+            let k_end = (kk + BLOCK).min(k_dim);
+            for jj in (0..m).step_by(BLOCK) {
+                let j_end = (jj + BLOCK).min(m);
+                for i in ii..i_end {
+                    for k in kk..k_end {
+                        let a_ik = a[i * k_dim + k];
+                        let b_row = &b[k * m + jj..k * m + j_end];
+                        let c_row = &mut out[i * m + jj..i * m + j_end];
+                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                            *c += a_ik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `A · Bᵀ` kernel over raw slabs where `bt` is already the packed row-major
+/// transpose (`z x k_dim`): every inner product streams two contiguous rows,
+/// the access pattern the scoring path (`X·Sᵀ` against a signature bank)
+/// needs. Blocked over `bt` rows so a tile of signatures stays cache-hot
+/// across consecutive samples, and register-blocked four signatures at a time
+/// so each sample-row element is loaded once per four outputs.
+fn gemm_bt_into(a: &[f64], n: usize, k_dim: usize, bt: &[f64], z: usize, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), n * k_dim);
+    debug_assert_eq!(bt.len(), z * k_dim);
+    debug_assert_eq!(out.len(), n * z);
+    for jj in (0..z).step_by(BLOCK) {
+        let j_end = (jj + BLOCK).min(z);
+        for i in 0..n {
+            let a_row = &a[i * k_dim..(i + 1) * k_dim];
+            let out_row = &mut out[i * z + jj..i * z + j_end];
+            let mut j = jj;
+            while j + 4 <= j_end {
+                let quad = dot4(
+                    a_row,
+                    &bt[j * k_dim..(j + 1) * k_dim],
+                    &bt[(j + 1) * k_dim..(j + 2) * k_dim],
+                    &bt[(j + 2) * k_dim..(j + 3) * k_dim],
+                    &bt[(j + 3) * k_dim..(j + 4) * k_dim],
+                );
+                out_row[j - jj..j - jj + 4].copy_from_slice(&quad);
+                j += 4;
+            }
+            for (o, jr) in out_row[j - jj..].iter_mut().zip(j..j_end) {
+                *o = dot(a_row, &bt[jr * k_dim..(jr + 1) * k_dim]);
+            }
+        }
+    }
+}
+
+/// Four simultaneous dot products of `a` against `b0..b3`. Each output keeps
+/// a single sequential accumulator (so per-output numerics match the naive
+/// order), while the four independent chains give the CPU instruction-level
+/// parallelism and reuse every `a` element four times per load.
+fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    let mut s = [0.0f64; 4];
+    for ((((&av, &v0), &v1), &v2), &v3) in a.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+        s[0] += av * v0;
+        s[1] += av * v1;
+        s[2] += av * v2;
+        s[3] += av * v3;
+    }
+    s
+}
+
+/// Four-accumulator unrolled dot product. The independent accumulators break
+/// the serial FP dependency chain so the compiler can keep several FMAs in
+/// flight; the remainder is summed separately and added once at the end.
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let main_len = a.len() / 4 * 4;
+    let (a_main, a_tail) = a.split_at(main_len);
+    let (b_main, b_tail) = b.split_at(main_len);
+    let mut acc = [0.0f64; 4];
+    for (av, bv) in a_main.chunks_exact(4).zip(b_main.chunks_exact(4)) {
+        acc[0] += av[0] * bv[0];
+        acc[1] += av[1] * bv[1];
+        acc[2] += av[2] * bv[2];
+        acc[3] += av[3] * bv[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Split `a` (`rows x a_cols`) and `out` (`rows x out_cols`) into matching
+/// contiguous row bands — one per thread, sized within one row of each other —
+/// and run `kernel` on each band in its own scoped thread. The disjoint
+/// `split_at_mut` slices make the parallelism safe without any locking.
+fn par_row_bands<F>(
+    rows: usize,
+    threads: usize,
+    a: &[f64],
+    a_cols: usize,
+    out: &mut [f64],
+    out_cols: usize,
+    kernel: F,
+) where
+    F: Fn(&[f64], usize, &mut [f64]) + Sync,
+{
+    let base = rows / threads;
+    let extra = rows % threads;
+    std::thread::scope(|scope| {
+        let kernel = &kernel;
+        let mut a_rest = a;
+        let mut out_rest = out;
+        for t in 0..threads {
+            let band = base + usize::from(t < extra);
+            if band == 0 {
+                continue;
+            }
+            let (a_band, a_tail) = a_rest.split_at(band * a_cols);
+            a_rest = a_tail;
+            let (out_band, out_tail) = std::mem::take(&mut out_rest).split_at_mut(band * out_cols);
+            out_rest = out_tail;
+            scope.spawn(move || kernel(a_band, band, out_band));
+        }
+    });
+}
+
 /// Errors produced by factorizations and solvers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinalgError {
@@ -175,26 +324,106 @@ impl Matrix {
         );
         let (n, k_dim, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for ii in (0..n).step_by(BLOCK) {
-            let i_end = (ii + BLOCK).min(n);
-            for kk in (0..k_dim).step_by(BLOCK) {
-                let k_end = (kk + BLOCK).min(k_dim);
-                for jj in (0..m).step_by(BLOCK) {
-                    let j_end = (jj + BLOCK).min(m);
-                    for i in ii..i_end {
-                        for k in kk..k_end {
-                            let a = self.data[i * k_dim + k];
-                            let b_row = &other.data[k * m + jj..k * m + j_end];
-                            let c_row = &mut out.data[i * m + jj..i * m + j_end];
-                            for (c, &b) in c_row.iter_mut().zip(b_row) {
-                                *c += a * b;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        gemm_into(&self.data, n, k_dim, &other.data, m, &mut out.data);
         out
+    }
+
+    /// Multi-threaded [`Matrix::matmul`]: rows of `self` are split into
+    /// contiguous bands, one scoped thread per band, each running the same
+    /// blocked kernel into its disjoint slice of the output.
+    ///
+    /// Because banding never changes the per-row accumulation order, the
+    /// result is **bit-identical** to the serial product for every thread
+    /// count. Small products (or `threads <= 1`) fall back to the serial
+    /// kernel, so this is safe to call unconditionally.
+    pub fn matmul_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let threads = threads.clamp(1, self.rows.max(1));
+        if threads == 1 || self.rows * self.cols * other.cols < PARALLEL_WORK_CUTOFF {
+            return self.matmul(other);
+        }
+        let (k_dim, m) = (self.cols, other.cols);
+        let mut out = Matrix::zeros(self.rows, m);
+        par_row_bands(
+            self.rows,
+            threads,
+            &self.data,
+            k_dim,
+            &mut out.data,
+            m,
+            |a_band, rows, out_band| gemm_into(a_band, rows, k_dim, &other.data, m, out_band),
+        );
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose: `other` is read
+    /// as a packed `z x k` row-major bank, so every inner product streams two
+    /// contiguous rows. This is the natural layout for the scoring shape
+    /// `X · Sᵀ`, where `other` holds one class signature per row.
+    pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        gemm_bt_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Multi-threaded [`Matrix::matmul_bt`], row-banded like
+    /// [`Matrix::matmul_parallel`] and likewise bit-identical to the serial
+    /// path for every thread count.
+    pub fn matmul_bt_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let threads = threads.clamp(1, self.rows.max(1));
+        if threads == 1 || self.rows * self.cols * other.rows < PARALLEL_WORK_CUTOFF {
+            return self.matmul_bt(other);
+        }
+        let (k_dim, z) = (self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, z);
+        par_row_bands(
+            self.rows,
+            threads,
+            &self.data,
+            k_dim,
+            &mut out.data,
+            z,
+            |a_band, rows, out_band| gemm_bt_into(a_band, rows, k_dim, &other.data, z, out_band),
+        );
+        out
+    }
+
+    /// Copy of the contiguous row slab `range.start..range.end` — the
+    /// building block for chunked streaming over huge sample matrices.
+    pub fn row_block(&self, range: std::ops::Range<usize>) -> Matrix {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row range {}..{} out of bounds for {} rows",
+            range.start,
+            range.end,
+            self.rows
+        );
+        Matrix {
+            rows: range.end - range.start,
+            cols: self.cols,
+            data: self.data[range.start * self.cols..range.end * self.cols].to_vec(),
+        }
     }
 
     /// Textbook triple-loop product. Kept as the oracle the blocked kernel is
@@ -323,18 +552,25 @@ impl Cholesky {
     pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
         let n = self.l.rows;
         assert_eq!(b.len(), n, "rhs length mismatch");
-        // Forward: L y = b
         let mut y = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        self.solve_into(b, &mut y, &mut x);
+        x
+    }
+
+    /// Forward (`L y = b`) then backward (`Lᵀ x = y`) substitution into
+    /// caller-provided buffers, so batched solves reuse scratch instead of
+    /// allocating per right-hand side.
+    fn solve_into(&self, b: &[f64], y: &mut [f64], x: &mut [f64]) {
+        let n = self.l.rows;
         for i in 0..n {
             let mut sum = b[i];
             let l_row = &self.l.data[i * n..i * n + i];
-            for (l, yk) in l_row.iter().zip(&y) {
+            for (l, yk) in l_row.iter().zip(y.iter()) {
                 sum -= l * yk;
             }
             y[i] = sum / self.l.data[i * n + i];
         }
-        // Backward: Lᵀ x = y
-        let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
             for (k, xk) in x.iter().enumerate().skip(i + 1) {
@@ -342,10 +578,16 @@ impl Cholesky {
             }
             x[i] = sum / self.l.data[i * n + i];
         }
-        x
     }
 
-    /// Solve `A X = B` column by column, returning `X` with `B`'s shape.
+    /// Solve `A X = B` for all right-hand sides, returning `X` with `B`'s
+    /// shape.
+    ///
+    /// `B` is transposed once up front so every right-hand side is a
+    /// contiguous row (the old path gathered each column with stride
+    /// `b.cols`, a cache miss per element), solved row-wise with shared
+    /// scratch, and the result transposed back. The per-column arithmetic is
+    /// unchanged, so results are bit-identical to the strided path.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
         let n = self.l.rows;
         if b.rows != n {
@@ -354,18 +596,13 @@ impl Cholesky {
                 got: (b.rows, b.cols),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols);
-        let mut col = vec![0.0; n];
+        let bt = b.transpose();
+        let mut xt = Matrix::zeros(b.cols, n);
+        let mut y = vec![0.0; n];
         for j in 0..b.cols {
-            for (i, c) in col.iter_mut().enumerate() {
-                *c = b.data[i * b.cols + j];
-            }
-            let x = self.solve_vec(&col);
-            for (i, &xi) in x.iter().enumerate() {
-                out.data[i * b.cols + j] = xi;
-            }
+            self.solve_into(bt.row(j), &mut y, xt.row_mut(j));
         }
-        Ok(out)
+        Ok(xt.transpose())
     }
 }
 
@@ -398,6 +635,74 @@ mod tests {
                 "blocked vs naive diverged at {n}x{k}x{m}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_across_thread_counts() {
+        let mut rng = Rng::new(17);
+        // Shapes straddle the 64-wide tile and include sizes above and below
+        // the parallel work cutoff; thread counts exceed both row count and
+        // hardware parallelism to exercise the clamps.
+        for &(n, k, m) in &[
+            (1, 1, 1),
+            (5, 3, 2),
+            (63, 64, 65),
+            (70, 129, 33),
+            (256, 96, 48),
+        ] {
+            let a = random_matrix(&mut rng, n, k);
+            let b = random_matrix(&mut rng, k, m);
+            let serial = a.matmul(&b);
+            for threads in [1, 2, 3, 7, 16] {
+                let parallel = a.matmul_parallel(&b, threads);
+                assert_eq!(
+                    parallel.as_slice(),
+                    serial.as_slice(),
+                    "parallel matmul diverged at {n}x{k}x{m} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose_product() {
+        let mut rng = Rng::new(23);
+        for &(n, k, z) in &[(1, 1, 1), (4, 7, 3), (63, 65, 64), (70, 129, 33)] {
+            let a = random_matrix(&mut rng, n, k);
+            let b = random_matrix(&mut rng, z, k);
+            let via_transpose = a.matmul(&b.transpose());
+            let packed = a.matmul_bt(&b);
+            assert!(
+                packed.max_abs_diff(&via_transpose) < 1e-9,
+                "matmul_bt diverged at {n}x{k} * ({z}x{k})ᵀ"
+            );
+            for threads in [1, 2, 5, 16] {
+                let parallel = a.matmul_bt_parallel(&b, threads);
+                assert_eq!(
+                    parallel.as_slice(),
+                    packed.as_slice(),
+                    "parallel matmul_bt diverged at {n}x{k} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_block_copies_the_requested_slab() {
+        let mut rng = Rng::new(31);
+        let a = random_matrix(&mut rng, 9, 4);
+        let block = a.row_block(2..6);
+        assert_eq!((block.rows(), block.cols()), (4, 4));
+        for r in 0..4 {
+            assert_eq!(block.row(r), a.row(r + 2));
+        }
+        let empty = a.row_block(3..3);
+        assert_eq!((empty.rows(), empty.cols()), (0, 4));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
     }
 
     #[test]
@@ -465,6 +770,26 @@ mod tests {
         let b = random_matrix(&mut rng, 8, 3);
         let x = solve_spd(&a, &b).expect("SPD");
         assert!(a.matmul(&x).max_abs_diff(&b) < 1e-8);
+    }
+
+    #[test]
+    fn solve_matrix_matches_per_column_solve_vec() {
+        let mut rng = Rng::new(71);
+        let g = random_matrix(&mut rng, 10, 10);
+        let mut a = g.matmul(&g.transpose());
+        a.add_scaled_identity(0.3);
+        let b = random_matrix(&mut rng, 10, 5);
+        let chol = a.cholesky().expect("SPD");
+        let x = chol.solve_matrix(&b).expect("shape");
+        // The transposed row-wise path must agree bit-for-bit with solving
+        // each column independently.
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b.get(i, j)).collect();
+            let expected = chol.solve_vec(&col);
+            for (i, &e) in expected.iter().enumerate() {
+                assert_eq!(x.get(i, j), e, "solve_matrix diverged at ({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Integration tests for the cached, parallel scoring engine: equivalence
+//! with the legacy per-call clone-and-renormalize path, cosine/dot agreement
+//! on pre-normalized banks, and chunked streaming over the real pipeline.
+
+use zsl_core::data::SyntheticConfig;
+use zsl_core::infer::{Classifier, ScoringEngine, Similarity};
+use zsl_core::linalg::{default_threads, Matrix};
+use zsl_core::model::{EszslConfig, ProjectionModel};
+
+fn trained_setup() -> (ProjectionModel, Matrix, Matrix) {
+    let ds = SyntheticConfig::new().classes(20, 6).seed(414).build();
+    let model = EszslConfig::new()
+        .build()
+        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+        .expect("train");
+    (
+        model,
+        ds.unseen_signatures.clone(),
+        ds.test_unseen_x.clone(),
+    )
+}
+
+/// The PR 1 scoring path: clone the bank, renormalize it, materialize the
+/// transpose, and run the serial blocked matmul — reproduced here as the
+/// oracle the engine must match.
+fn legacy_scores(
+    model: &ProjectionModel,
+    signatures: &Matrix,
+    similarity: Similarity,
+    x: &Matrix,
+) -> Matrix {
+    let mut projected = model.project(x);
+    let mut signatures = signatures.clone();
+    if similarity == Similarity::Cosine {
+        projected.l2_normalize_rows();
+        signatures.l2_normalize_rows();
+    }
+    projected.matmul(&signatures.transpose())
+}
+
+#[test]
+fn engine_matches_legacy_clone_and_renormalize_path() {
+    let (model, bank, x) = trained_setup();
+    for similarity in [Similarity::Cosine, Similarity::Dot] {
+        let legacy = legacy_scores(&model, &bank, similarity, &x);
+        let engine = ScoringEngine::new(model.clone(), bank.clone(), similarity);
+        let scores = engine.scores(&x);
+        assert_eq!(
+            (scores.rows(), scores.cols()),
+            (legacy.rows(), legacy.cols())
+        );
+        // The packed-Bᵀ kernel accumulates in a different order than the
+        // blocked kernel over the transpose, so allow float-reassociation
+        // noise but nothing more.
+        assert!(
+            scores.max_abs_diff(&legacy) < 1e-12,
+            "engine diverged from legacy path under {similarity:?}"
+        );
+    }
+}
+
+#[test]
+fn cosine_and_dot_agree_on_prenormalized_bank() {
+    let (model, bank, x) = trained_setup();
+    let mut normalized_bank = bank.clone();
+    normalized_bank.l2_normalize_rows();
+
+    // Dot against a pre-normalized bank scores each sample by ‖p‖·cos(p, s);
+    // the per-sample scale cancels inside argmax and ranking, so predictions
+    // must agree exactly with cosine similarity.
+    let cosine = Classifier::new(model.clone(), bank, Similarity::Cosine);
+    let dot = Classifier::new(model, normalized_bank, Similarity::Dot);
+    assert_eq!(cosine.predict(&x), dot.predict(&x));
+    let cosine_top3 = cosine.predict_topk(&x, 3);
+    let dot_top3 = dot.predict_topk(&x, 3);
+    for (c, d) in cosine_top3.iter().zip(&dot_top3) {
+        assert_eq!(c.classes, d.classes);
+    }
+}
+
+#[test]
+fn chunked_streaming_matches_full_scores_on_trained_pipeline() {
+    let (model, bank, x) = trained_setup();
+    let engine = ScoringEngine::new(model, bank, Similarity::Cosine);
+    let full = engine.scores(&x);
+    for chunk_rows in [1usize, 7, 64, x.rows(), x.rows() + 100] {
+        let mut stitched = Vec::with_capacity(x.rows() * engine.num_classes());
+        engine.scores_chunked(&x, chunk_rows, |offset, chunk| {
+            assert_eq!(offset, stitched.len() / engine.num_classes());
+            stitched.extend_from_slice(chunk.as_slice());
+        });
+        assert_eq!(
+            stitched,
+            full.as_slice(),
+            "chunked scores diverged at chunk_rows={chunk_rows}"
+        );
+    }
+}
+
+#[test]
+fn classifier_wrapper_delegates_to_engine() {
+    let (model, bank, x) = trained_setup();
+    let clf = Classifier::new(model.clone(), bank.clone(), Similarity::Cosine);
+    let engine = ScoringEngine::new(model, bank, Similarity::Cosine);
+    assert_eq!(clf.num_classes(), engine.num_classes());
+    assert_eq!(clf.predict(&x), engine.predict(&x));
+    assert_eq!(clf.scores(&x).as_slice(), engine.scores(&x).as_slice());
+    assert_eq!(clf.engine().threads(), default_threads().max(1));
+    // Engine predictions must not depend on the thread count.
+    let serial = ScoringEngine::with_threads(
+        clf.engine().model().clone(),
+        clf.engine().signatures().clone(),
+        Similarity::Dot, // bank already normalized inside the engine
+        1,
+    );
+    let parallel = ScoringEngine::with_threads(
+        clf.engine().model().clone(),
+        clf.engine().signatures().clone(),
+        Similarity::Dot,
+        8,
+    );
+    assert_eq!(serial.predict(&x), parallel.predict(&x));
+}
+
+#[test]
+fn predict_topk_equals_full_sort_on_trained_pipeline() {
+    let (model, bank, x) = trained_setup();
+    let clf = Classifier::new(model, bank, Similarity::Cosine);
+    let scores = clf.scores(&x);
+    let z = clf.num_classes();
+    for k in [1usize, 2, z, z + 3] {
+        let ranked = clf.predict_topk(&x, k);
+        for (i, ranked_row) in ranked.iter().enumerate() {
+            let row = scores.row(i);
+            let mut order: Vec<usize> = (0..z).collect();
+            order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
+            order.truncate(k.min(z));
+            assert_eq!(ranked_row.classes, order, "sample {i}, k={k}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Release-mode scoring-throughput harness.
+//!
+//! These tests are `#[ignore]`d so the tier-1 suite stays fast; run them with
+//!
+//! ```sh
+//! cargo test --release -p zsl-core --test throughput -- --ignored --nocapture
+//! ```
+//!
+//! Set `ZSL_BENCH_SMOKE=1` (as CI does on every push) to shrink the workload
+//! to a few hundred milliseconds while still exercising the parallel path.
+//! Each test prints a stable `[bench]`-prefixed line so future PRs can diff
+//! throughput against this baseline.
+
+use std::time::Instant;
+use zsl_core::data::Rng;
+use zsl_core::infer::{ScoringEngine, Similarity};
+use zsl_core::linalg::{default_threads, Matrix};
+use zsl_core::model::ProjectionModel;
+
+/// Workload shape: `n` samples of `d` features, projected to `a` attributes,
+/// scored against `z` classes.
+struct Workload {
+    n: usize,
+    d: usize,
+    a: usize,
+    z: usize,
+    iters: usize,
+}
+
+fn smoke() -> bool {
+    // Only "1" enables smoke mode, so ZSL_BENCH_SMOKE=0 (or empty) still runs
+    // the full acceptance-gate workload.
+    std::env::var("ZSL_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn workload() -> Workload {
+    if smoke() {
+        Workload {
+            n: 512,
+            d: 128,
+            a: 32,
+            z: 64,
+            iters: 2,
+        }
+    } else {
+        // The acceptance-floor shape: >= 2048 x 512 features, >= 200 classes.
+        Workload {
+            n: 4096,
+            d: 512,
+            a: 64,
+            z: 256,
+            iters: 5,
+        }
+    }
+}
+
+fn random_matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
+}
+
+/// Best-of-`iters` wall time for `f`, returning the last result for
+/// correctness checks.
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("iters >= 1"))
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn scoring_throughput_multi_threaded_vs_single_threaded() {
+    let w = workload();
+    let threads = default_threads();
+    let mut rng = Rng::new(0xBEEF);
+    let weights = random_matrix(&mut rng, w.d, w.a);
+    let bank = random_matrix(&mut rng, w.z, w.a);
+    let x = random_matrix(&mut rng, w.n, w.d);
+
+    let single = ScoringEngine::with_threads(
+        ProjectionModel::from_weights(weights.clone()),
+        bank.clone(),
+        Similarity::Cosine,
+        1,
+    );
+    let multi = ScoringEngine::with_threads(
+        ProjectionModel::from_weights(weights),
+        bank,
+        Similarity::Cosine,
+        threads,
+    );
+
+    // Warm-up: touches every buffer and verifies the two paths agree exactly.
+    let warm_single = single.predict(&x);
+    let warm_multi = multi.predict(&x);
+    assert_eq!(warm_single, warm_multi, "thread count changed predictions");
+
+    let (t_single, _) = time_best(w.iters, || single.predict(&x));
+    let (t_multi, _) = time_best(w.iters, || multi.predict(&x));
+    let speedup = t_single / t_multi;
+    println!(
+        "[bench] batch-scoring n={} d={} a={} z={} threads={}: single={:.4}s ({:.0} samples/s) multi={:.4}s ({:.0} samples/s) speedup={:.2}x",
+        w.n,
+        w.d,
+        w.a,
+        w.z,
+        threads,
+        t_single,
+        w.n as f64 / t_single,
+        t_multi,
+        w.n as f64 / t_multi,
+        speedup
+    );
+
+    // The acceptance gate: on multi-core hardware at the full workload the
+    // row-banded parallel path must beat the PR 1 single-threaded path.
+    // Smoke mode and single-core runners only validate correctness above.
+    if threads > 1 && !smoke() {
+        assert!(
+            t_multi < t_single,
+            "parallel scoring ({t_multi:.4}s) did not beat single-threaded ({t_single:.4}s) on {threads} threads"
+        );
+    }
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn cached_bank_scoring_vs_legacy_clone_path() {
+    let w = workload();
+    let mut rng = Rng::new(0xCAFE);
+    let weights = random_matrix(&mut rng, w.d, w.a);
+    let bank = random_matrix(&mut rng, w.z, w.a);
+    let x = random_matrix(&mut rng, w.n, w.d);
+    let model = ProjectionModel::from_weights(weights);
+
+    // PR 1 path: per-call bank clone + renormalize + transpose + serial
+    // blocked matmul.
+    let legacy = |x: &Matrix| -> Matrix {
+        let mut projected = model.project(x);
+        let mut signatures = bank.clone();
+        projected.l2_normalize_rows();
+        signatures.l2_normalize_rows();
+        projected.matmul(&signatures.transpose())
+    };
+    // Engine path pinned to one thread so the delta isolates the caching.
+    let engine = ScoringEngine::with_threads(model.clone(), bank.clone(), Similarity::Cosine, 1);
+
+    let reference = legacy(&x);
+    let cached = engine.scores(&x);
+    assert!(
+        cached.max_abs_diff(&reference) < 1e-9,
+        "cached-bank scores diverged from legacy path"
+    );
+
+    let (t_legacy, _) = time_best(w.iters, || legacy(&x));
+    let (t_cached, _) = time_best(w.iters, || engine.scores(&x));
+    println!(
+        "[bench] cached-bank (1 thread) n={} d={} a={} z={}: legacy={:.4}s cached={:.4}s speedup={:.2}x",
+        w.n, w.d, w.a, w.z, t_legacy, t_cached, t_legacy / t_cached
+    );
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn chunked_streaming_throughput() {
+    let w = workload();
+    let mut rng = Rng::new(0xF00D);
+    let weights = random_matrix(&mut rng, w.d, w.a);
+    let bank = random_matrix(&mut rng, w.z, w.a);
+    let x = random_matrix(&mut rng, w.n, w.d);
+    let engine = ScoringEngine::new(
+        ProjectionModel::from_weights(weights),
+        bank,
+        Similarity::Cosine,
+    );
+
+    let full = engine.scores(&x);
+    let chunk_rows = (w.n / 8).max(1);
+    let (t_chunked, rows_seen) = time_best(w.iters, || {
+        let mut rows = 0usize;
+        engine.scores_chunked(&x, chunk_rows, |offset, chunk| {
+            if offset == 0 {
+                // Spot-check the first chunk against the full result.
+                assert_eq!(&full.as_slice()[..chunk.as_slice().len()], chunk.as_slice());
+            }
+            rows += chunk.rows();
+        });
+        rows
+    });
+    assert_eq!(rows_seen, w.n);
+    println!(
+        "[bench] chunked-scoring n={} chunk_rows={} threads={}: {:.4}s ({:.0} samples/s)",
+        w.n,
+        chunk_rows,
+        engine.threads(),
+        t_chunked,
+        w.n as f64 / t_chunked
+    );
+}
