@@ -1,6 +1,6 @@
 # Tier-1 verify and dev conveniences. `just` mirrors these recipes.
 
-.PHONY: test lint fmt build
+.PHONY: test lint fmt build doc
 
 # Matches the tier-1 verify in ROADMAP.md exactly.
 test:
@@ -15,3 +15,7 @@ fmt:
 
 build:
 	cargo build --release
+
+# Public-API docs must stay warning-free (CI enforces the same flag).
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

@@ -1,0 +1,171 @@
+//! CLI for the dataset + evaluation subsystem: export a synthetic bundle to
+//! disk, or load a bundle, cross-validate `(γ, λ)` on its trainval split,
+//! train, and print the GZSL report.
+//!
+//! ```sh
+//! # Write a synthetic bundle (features.zsb + signatures.csv + splits.txt):
+//! cargo run --release --example eval_dataset -- export /tmp/zsl_bundle
+//! cargo run --release --example eval_dataset -- export /tmp/zsl_bundle --csv --seed 7
+//!
+//! # Load it, grid-search hyperparameters with seeded k-fold CV, evaluate:
+//! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle
+//! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle --folds 5 --sim dot
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use zsl_core::data::{export_dataset, DatasetBundle, FeatureFormat, SyntheticConfig};
+use zsl_core::eval::{select_train_evaluate, CrossValConfig};
+use zsl_core::infer::Similarity;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  eval_dataset export <dir> [--csv] [--seed N]\n  \
+         eval_dataset eval <dir> [--csv] [--folds K] [--seed N] [--sim cosine|dot]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, dir) = match (args.first(), args.get(1)) {
+        (Some(command), Some(dir)) => (command.as_str(), PathBuf::from(dir)),
+        _ => return usage(),
+    };
+
+    // Shared flag parsing for the tail of the argument list. Flags only
+    // meaningful for the other subcommand are rejected, not silently
+    // swallowed (an ignored `--csv` on eval would fake CSV-path coverage).
+    let allowed: &[&str] = match command {
+        "export" => &["--csv", "--seed"],
+        _ => &["--csv", "--seed", "--folds", "--sim"],
+    };
+    let mut format = FeatureFormat::Zsb;
+    let mut explicit_format = false;
+    let mut seed: u64 = 2026;
+    let mut folds: usize = 3;
+    let mut similarity = Similarity::Cosine;
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        if !allowed.contains(&flag.as_str()) {
+            eprintln!("flag '{flag}' is not valid for '{command}'");
+            return usage();
+        }
+        match flag.as_str() {
+            "--csv" => {
+                format = FeatureFormat::Csv;
+                explicit_format = true;
+            }
+            "--seed" | "--folds" | "--sim" => {
+                let Some(value) = rest.next() else {
+                    eprintln!("{flag} needs a value");
+                    return usage();
+                };
+                let ok = match flag.as_str() {
+                    "--seed" => value.parse().map(|v| seed = v).is_ok(),
+                    "--folds" => value.parse().map(|v| folds = v).is_ok(),
+                    _ => value.parse().map(|v| similarity = v).is_ok(),
+                };
+                if !ok {
+                    eprintln!("bad value '{value}' for {flag}");
+                    return usage();
+                }
+            }
+            _ => unreachable!("flag was checked against the allow-list"),
+        }
+    }
+
+    match command {
+        "export" => {
+            let ds = SyntheticConfig::new()
+                .classes(20, 5)
+                .dims(16, 32)
+                .samples(30, 20)
+                .noise(0.05)
+                .seed(seed)
+                .build();
+            match export_dataset(&ds, &dir, format) {
+                Ok(path) => {
+                    println!(
+                        "exported synthetic bundle (seed {seed}, {} samples, {} classes) to {}",
+                        ds.train_x.rows() + ds.test_seen_x.rows() + ds.test_unseen_x.rows(),
+                        ds.num_classes(),
+                        path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("export failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "eval" => {
+            // --csv pins the CSV feature table; default auto-detection
+            // prefers .zsb when both exist.
+            let loaded = if explicit_format {
+                DatasetBundle::load_with_format(&dir, format)
+            } else {
+                DatasetBundle::load(&dir)
+            };
+            let bundle = match loaded {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("failed to load bundle {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "bundle: {} samples x {} features, {} classes x {} attributes",
+                bundle.num_samples(),
+                bundle.feature_dim(),
+                bundle.num_classes(),
+                bundle.attr_dim()
+            );
+            let ds = match bundle.to_dataset() {
+                Ok(ds) => ds,
+                Err(e) => {
+                    eprintln!("invalid splits: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "splits: {} trainval / {} test_seen / {} test_unseen ({} seen, {} unseen classes)",
+                ds.train_x.rows(),
+                ds.test_seen_x.rows(),
+                ds.test_unseen_x.rows(),
+                ds.seen_signatures.rows(),
+                ds.unseen_signatures.rows()
+            );
+            let config = CrossValConfig::new()
+                .folds(folds)
+                .seed(seed)
+                .similarity(similarity);
+            let (cv, report) = match select_train_evaluate(&ds, &config) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("evaluation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "\n{}-fold CV over {} grid points (seed {seed}, {similarity} similarity):",
+                cv.folds,
+                cv.grid.len()
+            );
+            for point in &cv.grid {
+                println!(
+                    "  gamma={:<8} lambda={:<8} val acc {:.4}",
+                    point.gamma, point.lambda, point.mean_accuracy
+                );
+            }
+            println!(
+                "selected gamma={} lambda={} (val acc {:.4})\n",
+                cv.best.gamma, cv.best.lambda, cv.best.mean_accuracy
+            );
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,150 @@
+//! Typed errors for the on-disk dataset subsystem.
+//!
+//! Every failure in the loader path — I/O, malformed headers, truncated
+//! files, bad manifests — is reported through [`DataError`] rather than a
+//! panic, so servers ingesting untrusted feature dumps can reject bad bundles
+//! gracefully.
+
+use std::path::PathBuf;
+
+/// Error from reading, writing, or validating an on-disk dataset bundle.
+#[derive(Debug)]
+pub enum DataError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// File the operation targeted.
+        path: PathBuf,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// A binary file ended before the bytes its header promised.
+    Truncated {
+        /// The truncated file.
+        path: PathBuf,
+        /// Bytes the header (or format minimum) requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A header field is invalid or inconsistent with the file contents
+    /// (bad magic, unsupported version, zero dims, class-count mismatch,
+    /// trailing bytes).
+    Header {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// A text file (CSV or split manifest) failed to parse.
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A class label was referenced that the signature table does not define.
+    UnknownClass {
+        /// The undefined raw class label.
+        label: u32,
+        /// Where the reference came from (e.g. `features.zsb`, `splits.txt`).
+        context: String,
+    },
+    /// The signature table defined the same class label twice.
+    DuplicateClass {
+        /// The repeated raw class label.
+        label: u32,
+    },
+    /// A required split has no sample indices.
+    EmptySplit {
+        /// Which split (`trainval`, `test_seen`, `test_unseen`).
+        split: String,
+    },
+    /// The split manifest is structurally invalid: out-of-range or duplicate
+    /// sample indices, seen/unseen class overlap, or a declared unseen-class
+    /// set that disagrees with the test-unseen samples.
+    Split {
+        /// What was wrong.
+        message: String,
+    },
+    /// Matrices or label lists across the bundle's files disagree in shape.
+    Shape {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            DataError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{} is truncated: need {expected} bytes, found {actual}",
+                path.display()
+            ),
+            DataError::Header { path, message } => {
+                write!(f, "bad header in {}: {message}", path.display())
+            }
+            DataError::Parse {
+                path,
+                line,
+                message,
+            } => write!(f, "parse error at {}:{line}: {message}", path.display()),
+            DataError::UnknownClass { label, context } => {
+                write!(f, "unknown class label {label} referenced by {context}")
+            }
+            DataError::DuplicateClass { label } => {
+                write!(f, "class label {label} defined more than once")
+            }
+            DataError::EmptySplit { split } => {
+                write!(f, "split '{split}' has no sample indices")
+            }
+            DataError::Split { message } => write!(f, "invalid split manifest: {message}"),
+            DataError::Shape { message } => write!(f, "shape mismatch: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl DataError {
+    /// Wrap an I/O error with the path it occurred on.
+    pub(crate) fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        DataError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Build a [`DataError::Header`] for `path`.
+    pub(crate) fn header(path: impl Into<PathBuf>, message: impl Into<String>) -> Self {
+        DataError::Header {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Build a [`DataError::Parse`] for `path` at 1-based `line`.
+    pub(crate) fn parse(path: impl Into<PathBuf>, line: usize, message: impl Into<String>) -> Self {
+        DataError::Parse {
+            path: path.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}

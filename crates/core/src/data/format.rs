@@ -1,0 +1,607 @@
+//! On-disk serialization formats for dataset bundles.
+//!
+//! Three artifacts make up a bundle directory (loaded together by
+//! [`crate::data::DatasetBundle`]):
+//!
+//! 1. **Feature table** — samples with raw class labels, in one of two
+//!    interchangeable formats that round-trip bit-identically:
+//!    - `features.zsb`: a compact little-endian binary dump with a fixed
+//!      32-byte header (see [`ZSB_MAGIC`] and [`read_zsb`] for the layout);
+//!    - `features.csv`: one line per sample, `label,f0,f1,...`, floats
+//!      printed with Rust's shortest round-trip formatting.
+//! 2. **Signature table** — `signatures.csv`, one line per class,
+//!    `label,a0,a1,...`. Line order defines the dense class-id order used
+//!    everywhere downstream.
+//! 3. **Split manifest** — `splits.txt`, a [`SplitManifest`] assigning sample
+//!    indices to the trainval / test-seen / test-unseen splits (the same
+//!    structure as the `att_splits.mat` `*_loc` arrays in the reference ESZSL
+//!    code), plus an optional declared unseen-class set.
+//!
+//! All readers return typed [`DataError`]s — truncated files, bad magic,
+//! dimension mismatches, and malformed manifests never panic.
+
+use super::error::DataError;
+use crate::linalg::Matrix;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening every `.zsb` feature dump.
+pub const ZSB_MAGIC: [u8; 4] = *b"ZSBF";
+/// Current `.zsb` format version.
+pub const ZSB_VERSION: u16 = 1;
+/// Fixed `.zsb` header length in bytes.
+pub const ZSB_HEADER_LEN: u64 = 32;
+
+/// A parsed feature table: per-sample raw class labels plus the feature
+/// matrix, exactly as stored on disk (labels not yet remapped to dense ids).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureTable {
+    /// Raw class label per sample, `len == features.rows()`.
+    pub labels: Vec<u32>,
+    /// Feature matrix, `n_samples x feature_dim`.
+    pub features: Matrix,
+}
+
+impl FeatureTable {
+    /// Number of distinct raw labels (the `class_count` header field).
+    pub fn distinct_classes(&self) -> usize {
+        let mut sorted = self.labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+}
+
+/// Write a feature table as a `.zsb` binary dump.
+///
+/// Layout (all integers little-endian):
+///
+/// | offset | size | field |
+/// |-------:|-----:|-------|
+/// | 0      | 4    | magic `"ZSBF"` |
+/// | 4      | 2    | version (= 1) |
+/// | 6      | 2    | flags (= 0) |
+/// | 8      | 8    | `n_samples` (u64) |
+/// | 16     | 4    | `feature_dim` (u32) |
+/// | 20     | 4    | `class_count` (u32, distinct labels) |
+/// | 24     | 8    | reserved (= 0) |
+/// | 32     | 4·n  | labels, one u32 per sample |
+/// | 32+4n  | 8·n·d | features, row-major f64 |
+pub fn write_zsb(path: &Path, table: &FeatureTable) -> Result<(), DataError> {
+    validate_table_shape(path, table)?;
+    let n = table.features.rows();
+    let d = table.features.cols();
+    let mut bytes = Vec::with_capacity(ZSB_HEADER_LEN as usize + 4 * n + 8 * n * d);
+    bytes.extend_from_slice(&ZSB_MAGIC);
+    bytes.extend_from_slice(&ZSB_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&0u16.to_le_bytes()); // flags
+    bytes.extend_from_slice(&(n as u64).to_le_bytes());
+    bytes.extend_from_slice(&(d as u32).to_le_bytes());
+    bytes.extend_from_slice(&(table.distinct_classes() as u32).to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // reserved
+    for &label in &table.labels {
+        bytes.extend_from_slice(&label.to_le_bytes());
+    }
+    for &v in table.features.as_slice() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).map_err(|e| DataError::io(path, e))
+}
+
+/// Read a `.zsb` feature dump written by [`write_zsb`].
+///
+/// Validates the magic, version, flags, non-zero dims, exact file length
+/// (both truncation and trailing garbage are errors), the header
+/// `class_count` against the labels actually present, and that every feature
+/// value is finite.
+pub fn read_zsb(path: &Path) -> Result<FeatureTable, DataError> {
+    let bytes = std::fs::read(path).map_err(|e| DataError::io(path, e))?;
+    if (bytes.len() as u64) < ZSB_HEADER_LEN {
+        return Err(DataError::Truncated {
+            path: path.into(),
+            expected: ZSB_HEADER_LEN,
+            actual: bytes.len() as u64,
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if magic != ZSB_MAGIC {
+        return Err(DataError::header(
+            path,
+            format!("bad magic {magic:?}, expected {ZSB_MAGIC:?} (\"ZSBF\")"),
+        ));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != ZSB_VERSION {
+        return Err(DataError::header(
+            path,
+            format!("unsupported version {version}, this reader handles {ZSB_VERSION}"),
+        ));
+    }
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if flags != 0 {
+        return Err(DataError::header(
+            path,
+            format!("unknown flags 0x{flags:04x}, version {ZSB_VERSION} defines none"),
+        ));
+    }
+    let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let d = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as u64;
+    let class_count = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let reserved = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    if reserved != 0 {
+        return Err(DataError::header(
+            path,
+            "reserved header bytes are non-zero",
+        ));
+    }
+    if n == 0 || d == 0 || class_count == 0 {
+        return Err(DataError::header(
+            path,
+            format!("zero-sized table: n_samples={n}, feature_dim={d}, class_count={class_count}"),
+        ));
+    }
+    // Header fields are attacker-controlled: checked arithmetic keeps a
+    // crafted n_samples/feature_dim pair from wrapping `expected` back into
+    // range and panicking on allocation instead of returning an error.
+    let expected = 4u64
+        .checked_mul(n)
+        .and_then(|labels| 8u64.checked_mul(n)?.checked_mul(d)?.checked_add(labels))
+        .and_then(|payload| payload.checked_add(ZSB_HEADER_LEN));
+    let Some(expected) = expected else {
+        return Err(DataError::header(
+            path,
+            format!("header dims overflow: n_samples={n} x feature_dim={d}"),
+        ));
+    };
+    let actual = bytes.len() as u64;
+    if actual < expected {
+        return Err(DataError::Truncated {
+            path: path.into(),
+            expected,
+            actual,
+        });
+    }
+    if actual > expected {
+        return Err(DataError::header(
+            path,
+            format!(
+                "{} trailing bytes after the feature payload",
+                actual - expected
+            ),
+        ));
+    }
+
+    let n = n as usize;
+    let d = d as usize;
+    let mut labels = Vec::with_capacity(n);
+    let mut offset = ZSB_HEADER_LEN as usize;
+    for _ in 0..n {
+        labels.push(u32::from_le_bytes(
+            bytes[offset..offset + 4].try_into().expect("4 bytes"),
+        ));
+        offset += 4;
+    }
+    let mut data = Vec::with_capacity(n * d);
+    for i in 0..n * d {
+        let v = f64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
+        if !v.is_finite() {
+            return Err(DataError::header(
+                path,
+                format!(
+                    "non-finite feature value {v} at row {}, col {}",
+                    i / d,
+                    i % d
+                ),
+            ));
+        }
+        data.push(v);
+        offset += 8;
+    }
+    let table = FeatureTable {
+        labels,
+        features: Matrix::from_vec(n, d, data),
+    };
+    if table.distinct_classes() != class_count as usize {
+        return Err(DataError::header(
+            path,
+            format!(
+                "header claims {class_count} distinct classes but labels contain {}",
+                table.distinct_classes()
+            ),
+        ));
+    }
+    Ok(table)
+}
+
+/// Write a feature table as CSV, one `label,f0,f1,...` line per sample.
+/// Floats use Rust's shortest round-trip formatting, so
+/// [`read_features_csv`] recovers bit-identical values.
+pub fn write_features_csv(path: &Path, table: &FeatureTable) -> Result<(), DataError> {
+    validate_table_shape(path, table)?;
+    let mut out = Vec::new();
+    for (i, &label) in table.labels.iter().enumerate() {
+        write_csv_row(&mut out, label, table.features.row(i));
+    }
+    std::fs::write(path, out).map_err(|e| DataError::io(path, e))
+}
+
+/// Read a CSV feature table written by [`write_features_csv`].
+pub fn read_features_csv(path: &Path) -> Result<FeatureTable, DataError> {
+    let (labels, features) = read_labeled_csv(path)?;
+    if features.rows() == 0 {
+        return Err(DataError::parse(path, 1, "feature table has no rows"));
+    }
+    Ok(FeatureTable { labels, features })
+}
+
+/// Write the signature table: one `label,a0,a1,...` line per class, in dense
+/// class-id order.
+pub fn write_signatures_csv(
+    path: &Path,
+    class_labels: &[u32],
+    signatures: &Matrix,
+) -> Result<(), DataError> {
+    if class_labels.len() != signatures.rows() {
+        return Err(DataError::Shape {
+            message: format!(
+                "{} class labels but {} signature rows",
+                class_labels.len(),
+                signatures.rows()
+            ),
+        });
+    }
+    let mut out = Vec::new();
+    for (i, &label) in class_labels.iter().enumerate() {
+        write_csv_row(&mut out, label, signatures.row(i));
+    }
+    std::fs::write(path, out).map_err(|e| DataError::io(path, e))
+}
+
+/// Read the signature table. Line order defines dense class-id order;
+/// duplicate labels are a [`DataError::DuplicateClass`].
+pub fn read_signatures_csv(path: &Path) -> Result<(Vec<u32>, Matrix), DataError> {
+    let (labels, signatures) = read_labeled_csv(path)?;
+    if signatures.rows() == 0 {
+        return Err(DataError::parse(path, 1, "signature table has no rows"));
+    }
+    let mut sorted = labels.clone();
+    sorted.sort_unstable();
+    if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
+        return Err(DataError::DuplicateClass { label: dup[0] });
+    }
+    Ok((labels, signatures))
+}
+
+/// Sample-index assignment of every split, mirroring the `trainval_loc` /
+/// `test_seen_loc` / `test_unseen_loc` arrays of the reference `att_splits`
+/// format (0-based here).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SplitManifest {
+    /// Sample indices trained on (seen classes).
+    pub trainval: Vec<usize>,
+    /// Held-out sample indices from seen classes.
+    pub test_seen: Vec<usize>,
+    /// Sample indices from unseen classes (never trained on).
+    pub test_unseen: Vec<usize>,
+    /// Optionally declared raw labels of the unseen classes; when present the
+    /// loader checks each exists in the signature table and that the set
+    /// matches the classes actually observed in `test_unseen`.
+    pub unseen_classes: Option<Vec<u32>>,
+}
+
+impl SplitManifest {
+    /// Check internal consistency against a feature table of `num_samples`
+    /// rows: every split non-empty, every index in range, and no index
+    /// assigned to two splits.
+    pub fn validate(&self, num_samples: usize) -> Result<(), DataError> {
+        for (name, indices) in self.sections() {
+            if indices.is_empty() {
+                return Err(DataError::EmptySplit { split: name.into() });
+            }
+        }
+        let mut assigned = vec![false; num_samples];
+        for (name, indices) in self.sections() {
+            for &i in indices {
+                if i >= num_samples {
+                    return Err(DataError::Split {
+                        message: format!("{name} index {i} out of range for {num_samples} samples"),
+                    });
+                }
+                if assigned[i] {
+                    return Err(DataError::Split {
+                        message: format!("sample index {i} assigned to more than one split"),
+                    });
+                }
+                assigned[i] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// The three index sections with their manifest names.
+    fn sections(&self) -> [(&'static str, &Vec<usize>); 3] {
+        [
+            ("trainval", &self.trainval),
+            ("test_seen", &self.test_seen),
+            ("test_unseen", &self.test_unseen),
+        ]
+    }
+
+    /// Write the manifest as `splits.txt`:
+    ///
+    /// ```text
+    /// # zsl split manifest v1
+    /// trainval: 0 1 2
+    /// test_seen: 3 4
+    /// test_unseen: 5 6
+    /// unseen_classes: 7 8
+    /// ```
+    pub fn write(&self, path: &Path) -> Result<(), DataError> {
+        let mut out = Vec::new();
+        writeln!(out, "# zsl split manifest v1").expect("vec write");
+        for (name, indices) in self.sections() {
+            write!(out, "{name}:").expect("vec write");
+            for i in indices {
+                write!(out, " {i}").expect("vec write");
+            }
+            writeln!(out).expect("vec write");
+        }
+        if let Some(classes) = &self.unseen_classes {
+            write!(out, "unseen_classes:").expect("vec write");
+            for c in classes {
+                write!(out, " {c}").expect("vec write");
+            }
+            writeln!(out).expect("vec write");
+        }
+        std::fs::write(path, out).map_err(|e| DataError::io(path, e))
+    }
+
+    /// Parse a manifest written by [`SplitManifest::write`]. Blank lines and
+    /// `#` comments are ignored; unknown or repeated section names, and
+    /// non-numeric indices, are [`DataError::Parse`]; a missing or empty
+    /// section is a [`DataError::EmptySplit`].
+    pub fn read(path: &Path) -> Result<Self, DataError> {
+        let text = std::fs::read_to_string(path).map_err(|e| DataError::io(path, e))?;
+        let mut trainval = None;
+        let mut test_seen = None;
+        let mut test_unseen = None;
+        let mut unseen_classes = None;
+        for (line_no, raw_line) in text.lines().enumerate() {
+            let line_no = line_no + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, rest) = line.split_once(':').ok_or_else(|| {
+                DataError::parse(path, line_no, "expected '<section>: <indices...>'")
+            })?;
+            let slot: &mut Option<Vec<usize>> = match name.trim() {
+                "trainval" => &mut trainval,
+                "test_seen" => &mut test_seen,
+                "test_unseen" => &mut test_unseen,
+                "unseen_classes" => {
+                    if unseen_classes.is_some() {
+                        return Err(DataError::parse(
+                            path,
+                            line_no,
+                            "section 'unseen_classes' repeated",
+                        ));
+                    }
+                    let parsed: Result<Vec<u32>, _> = rest
+                        .split_whitespace()
+                        .map(|tok| {
+                            tok.parse::<u32>().map_err(|_| {
+                                DataError::parse(path, line_no, format!("bad class label '{tok}'"))
+                            })
+                        })
+                        .collect();
+                    unseen_classes = Some(parsed?);
+                    continue;
+                }
+                other => {
+                    return Err(DataError::parse(
+                        path,
+                        line_no,
+                        format!("unknown section '{other}'"),
+                    ));
+                }
+            };
+            if slot.is_some() {
+                return Err(DataError::parse(
+                    path,
+                    line_no,
+                    format!("section '{}' repeated", name.trim()),
+                ));
+            }
+            let parsed: Result<Vec<usize>, _> = rest
+                .split_whitespace()
+                .map(|tok| {
+                    tok.parse::<usize>().map_err(|_| {
+                        DataError::parse(path, line_no, format!("bad sample index '{tok}'"))
+                    })
+                })
+                .collect();
+            *slot = Some(parsed?);
+        }
+        let require = |slot: Option<Vec<usize>>, name: &str| {
+            slot.ok_or_else(|| DataError::EmptySplit { split: name.into() })
+        };
+        Ok(SplitManifest {
+            trainval: require(trainval, "trainval")?,
+            test_seen: require(test_seen, "test_seen")?,
+            test_unseen: require(test_unseen, "test_unseen")?,
+            unseen_classes,
+        })
+    }
+}
+
+/// Shared shape check for feature-table writers.
+fn validate_table_shape(path: &Path, table: &FeatureTable) -> Result<(), DataError> {
+    if table.labels.len() != table.features.rows() {
+        return Err(DataError::Shape {
+            message: format!(
+                "{}: {} labels but {} feature rows",
+                path.display(),
+                table.labels.len(),
+                table.features.rows()
+            ),
+        });
+    }
+    if table.features.rows() == 0 || table.features.cols() == 0 {
+        return Err(DataError::Shape {
+            message: format!(
+                "{}: refusing to write an empty feature table",
+                path.display()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// One `label,v0,v1,...` CSV line. `{}` on f64 prints the shortest string
+/// that parses back to the identical bits, which is what makes CSV bundles
+/// round-trip exactly.
+fn write_csv_row(out: &mut Vec<u8>, label: u32, values: &[f64]) {
+    write!(out, "{label}").expect("vec write");
+    for v in values {
+        write!(out, ",{v}").expect("vec write");
+    }
+    writeln!(out).expect("vec write");
+}
+
+/// Parse a `label,v0,v1,...` CSV file into labels plus a dense matrix.
+/// Rejects ragged rows, non-numeric fields, and non-finite values.
+fn read_labeled_csv(path: &Path) -> Result<(Vec<u32>, Matrix), DataError> {
+    let text = std::fs::read_to_string(path).map_err(|e| DataError::io(path, e))?;
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    let mut cols: Option<usize> = None;
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let label_tok = fields.next().expect("split yields at least one field");
+        let label = label_tok.parse::<u32>().map_err(|_| {
+            DataError::parse(path, line_no, format!("bad class label '{label_tok}'"))
+        })?;
+        let mut row_width = 0;
+        for tok in fields {
+            let v = tok
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| DataError::parse(path, line_no, format!("bad float '{tok}'")))?;
+            if !v.is_finite() {
+                return Err(DataError::parse(
+                    path,
+                    line_no,
+                    format!("non-finite value {v}"),
+                ));
+            }
+            data.push(v);
+            row_width += 1;
+        }
+        if row_width == 0 {
+            return Err(DataError::parse(
+                path,
+                line_no,
+                "row has a label but no values",
+            ));
+        }
+        match cols {
+            None => cols = Some(row_width),
+            Some(w) if w != row_width => {
+                return Err(DataError::parse(
+                    path,
+                    line_no,
+                    format!("ragged row: {row_width} values, previous rows had {w}"),
+                ));
+            }
+            Some(_) => {}
+        }
+        labels.push(label);
+    }
+    let cols = cols.unwrap_or(0);
+    let rows = labels.len();
+    Ok((labels, Matrix::from_vec(rows, cols, data)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Rng;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("zsl_format_{}_{tag}", std::process::id()))
+    }
+
+    fn random_table(seed: u64, n: usize, d: usize, classes: u32) -> FeatureTable {
+        let mut rng = Rng::new(seed);
+        let labels = (0..n).map(|i| (i as u32) % classes).collect();
+        let features = Matrix::from_vec(n, d, (0..n * d).map(|_| rng.normal()).collect());
+        FeatureTable { labels, features }
+    }
+
+    #[test]
+    fn zsb_roundtrip_is_bit_identical() {
+        let table = random_table(5, 17, 9, 4);
+        let path = temp_path("zsb_rt.zsb");
+        write_zsb(&path, &table).unwrap();
+        let back = read_zsb(&path).unwrap();
+        assert_eq!(back, table);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip_is_bit_identical() {
+        let table = random_table(6, 13, 5, 3);
+        let path = temp_path("csv_rt.csv");
+        write_features_csv(&path, &table).unwrap();
+        let back = read_features_csv(&path).unwrap();
+        assert_eq!(back, table);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_validation() {
+        let manifest = SplitManifest {
+            trainval: vec![0, 1, 2],
+            test_seen: vec![3],
+            test_unseen: vec![4, 5],
+            unseen_classes: Some(vec![7, 9]),
+        };
+        let path = temp_path("manifest.txt");
+        manifest.write(&path).unwrap();
+        let back = SplitManifest::read(&path).unwrap();
+        assert_eq!(back, manifest);
+        assert!(back.validate(6).is_ok());
+        assert!(matches!(back.validate(5), Err(DataError::Split { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_overlapping_and_empty_splits() {
+        let overlapping = SplitManifest {
+            trainval: vec![0, 1],
+            test_seen: vec![1],
+            test_unseen: vec![2],
+            unseen_classes: None,
+        };
+        assert!(matches!(
+            overlapping.validate(3),
+            Err(DataError::Split { .. })
+        ));
+        let empty = SplitManifest {
+            trainval: vec![0],
+            test_seen: vec![1],
+            test_unseen: vec![],
+            unseen_classes: None,
+        };
+        assert!(matches!(
+            empty.validate(2),
+            Err(DataError::EmptySplit { split }) if split == "test_unseen"
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! Datasets for the ZSL pipeline: seeded synthetic generation plus an
+//! on-disk bundle subsystem for real feature dumps.
+//!
+//! Two ways to get a [`Dataset`]:
+//!
+//! - **Synthetic** ([`SyntheticConfig`]): hermetic, seed-determined data in
+//!   the regime where a linear feature→attribute projection is recoverable —
+//!   the anchor for the trainer tests.
+//! - **From disk** ([`DatasetBundle`]): a bundle directory holding a feature
+//!   table (compact `.zsb` binary or CSV), a `signatures.csv` class table,
+//!   and a `splits.txt` manifest assigning samples to trainval / test-seen /
+//!   test-unseen (mirroring the `att_splits` structure of the reference
+//!   ESZSL code). Raw class labels are arbitrary `u32`s, remapped to dense
+//!   ids by a [`ClassMap`]. Every loader failure is a typed [`DataError`].
+//!
+//! [`export_dataset`] writes any [`Dataset`] as a bundle; the round trip
+//! (write → read → [`DatasetBundle::to_dataset`]) is bit-identical, which the
+//! property tests in `tests/property.rs` sweep across shapes and seeds.
+
+mod error;
+pub mod format;
+mod loader;
+mod rng;
+mod synthetic;
+
+pub use error::DataError;
+pub use format::{FeatureTable, SplitManifest, ZSB_HEADER_LEN, ZSB_MAGIC, ZSB_VERSION};
+pub use loader::{
+    export_dataset, ClassMap, DatasetBundle, FeatureFormat, FEATURES_CSV, FEATURES_ZSB,
+    SIGNATURES_CSV, SPLITS_TXT,
+};
+pub use rng::Rng;
+pub use synthetic::{Dataset, SyntheticConfig};

@@ -1,0 +1,96 @@
+//! Small deterministic PRNG used everywhere randomness is needed.
+
+/// Small deterministic PRNG (SplitMix64) with a Box–Muller Gaussian sampler.
+///
+/// Not cryptographic; exists so datasets and tests are reproducible without
+/// pulling in an external crate.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeded generator; the same seed always yields the same stream.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        // Guard against ln(0).
+        let u1 = self.uniform().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle of `slice`, fully determined by the seed.
+    ///
+    /// Index selection uses `next_u64() % (i + 1)`; the modulo bias is
+    /// negligible (< 2⁻⁵⁰) for the slice lengths this crate shuffles and does
+    /// not affect determinism, which is the property callers rely on.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_uniform_in_range() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            let u = a.uniform();
+            assert_eq!(u, b.uniform());
+            assert!((0.0..1.0).contains(&u));
+        }
+        let mut c = Rng::new(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn rng_normal_has_sane_moments() {
+        let mut rng = Rng::new(2024);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        Rng::new(9).shuffle(&mut a);
+        Rng::new(9).shuffle(&mut b);
+        assert_eq!(a, b, "same seed must give the same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>(), "must be a permutation");
+        let mut c: Vec<usize> = (0..50).collect();
+        Rng::new(10).shuffle(&mut c);
+        assert_ne!(a, c, "different seeds should (here) differ");
+    }
+}

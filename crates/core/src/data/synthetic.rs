@@ -1,52 +1,16 @@
-//! Hermetic, deterministic datasets for the ZSL pipeline.
+//! Seeded synthetic dataset generation.
 //!
 //! Real ESZSL experiments load `res101.mat` / `att_splits.mat` feature dumps;
-//! this crate instead ships a seeded synthetic generator so every train/eval
+//! this generator ships a seeded synthetic regime instead so every train/eval
 //! cycle runs without external files. Each class gets an attribute signature,
 //! features are a fixed random linear image of that signature plus Gaussian
 //! noise — exactly the regime where a linear feature→attribute projection is
-//! recoverable, which is what the trainer tests exploit.
+//! recoverable, which is what the trainer tests exploit. Generated datasets
+//! can be exported to disk with [`crate::data::export_dataset`] and reloaded
+//! bit-identically through [`crate::data::DatasetBundle`].
 
+use super::rng::Rng;
 use crate::linalg::Matrix;
-
-/// Small deterministic PRNG (SplitMix64) with a Box–Muller Gaussian sampler.
-///
-/// Not cryptographic; exists so datasets and tests are reproducible without
-/// pulling in an external crate.
-#[derive(Clone, Debug)]
-pub struct Rng {
-    state: u64,
-}
-
-impl Rng {
-    /// Seeded generator; the same seed always yields the same stream.
-    pub fn new(seed: u64) -> Self {
-        Rng { state: seed }
-    }
-
-    /// Next raw 64-bit output (SplitMix64).
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform sample in `[0, 1)`.
-    pub fn uniform(&mut self) -> f64 {
-        // 53 random mantissa bits.
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Standard normal sample via Box–Muller.
-    pub fn normal(&mut self) -> f64 {
-        // Guard against ln(0).
-        let u1 = self.uniform().max(f64::MIN_POSITIVE);
-        let u2 = self.uniform();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-    }
-}
 
 /// Configuration for [`Dataset::synthetic`], builder style.
 ///
@@ -65,7 +29,9 @@ pub struct SyntheticConfig {
     pub attr_dim: usize,
     /// Dimension of the visual feature vectors.
     pub feature_dim: usize,
-    /// Training samples generated per seen class.
+    /// Training samples generated per seen class. Must be positive: a zero
+    /// here would silently produce an empty design matrix that every trainer
+    /// rejects much later with a confusing shape error.
     pub train_samples_per_class: usize,
     /// Test samples generated per class (seen and unseen splits).
     pub test_samples_per_class: usize,
@@ -130,6 +96,11 @@ impl SyntheticConfig {
     }
 
     /// Generate the dataset.
+    ///
+    /// Panics on configurations that cannot produce a trainable dataset:
+    /// zero seen classes, zero dimensions, or zero training samples per class
+    /// (the last would otherwise surface much later as an empty design
+    /// matrix inside the trainer).
     pub fn build(self) -> Dataset {
         Dataset::synthetic(&self)
     }
@@ -175,6 +146,12 @@ impl Dataset {
         assert!(
             config.attr_dim > 0 && config.feature_dim > 0,
             "dims must be positive"
+        );
+        assert!(
+            config.train_samples_per_class > 0,
+            "SyntheticConfig: train_samples_per_class must be > 0 — zero training \
+             samples per seen class produces an empty design matrix that no trainer \
+             can fit"
         );
         let mut rng = Rng::new(config.seed);
 
@@ -259,30 +236,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn rng_is_deterministic_and_uniform_in_range() {
-        let mut a = Rng::new(123);
-        let mut b = Rng::new(123);
-        for _ in 0..100 {
-            let u = a.uniform();
-            assert_eq!(u, b.uniform());
-            assert!((0.0..1.0).contains(&u));
-        }
-        let mut c = Rng::new(124);
-        assert_ne!(a.next_u64(), c.next_u64());
-    }
-
-    #[test]
-    fn rng_normal_has_sane_moments() {
-        let mut rng = Rng::new(2024);
-        let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
-        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
-    }
-
-    #[test]
     fn synthetic_dataset_shapes_and_label_ranges() {
         let ds = SyntheticConfig::new()
             .classes(4, 3)
@@ -313,5 +266,21 @@ mod tests {
         assert_eq!(a.train_x.as_slice(), b.train_x.as_slice());
         assert_eq!(a.train_labels, b.train_labels);
         assert_ne!(a.train_x.as_slice(), c.train_x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "train_samples_per_class must be > 0")]
+    fn zero_train_samples_per_class_is_rejected_at_build_time() {
+        // Regression: this used to build an empty design matrix and fail much
+        // later inside the trainer with an unrelated shape error.
+        SyntheticConfig::new().samples(0, 5).build();
+    }
+
+    #[test]
+    fn zero_test_samples_still_builds_a_trainable_dataset() {
+        let ds = SyntheticConfig::new().classes(3, 2).samples(4, 0).build();
+        assert_eq!(ds.train_x.rows(), 12);
+        assert_eq!(ds.test_seen_x.rows(), 0);
+        assert_eq!(ds.test_unseen_x.rows(), 0);
     }
 }

@@ -1,0 +1,509 @@
+//! Evaluation harness: generalized zero-shot reports and seeded k-fold
+//! hyperparameter selection.
+//!
+//! Two layers:
+//!
+//! 1. [`evaluate_gzsl`] runs the standard GZSL protocol on a [`Dataset`]:
+//!    both test splits are scored against the *union* signature bank through
+//!    the cached [`ScoringEngine`], and the result is a [`GzslReport`] —
+//!    seen accuracy, unseen accuracy, their harmonic mean, and per-class
+//!    breakdowns. Scores are bit-identical for every thread count.
+//! 2. [`cross_validate`] selects `(γ, λ)` **before** the unseen evaluation:
+//!    a seeded k-fold split of the seen-class training data, a grid sweep
+//!    reusing one [`EszslProblem`] per fold (the Gram matrices are paid once
+//!    per fold, not once per grid point), and mean per-class validation
+//!    accuracy per grid point. Fully deterministic for a fixed seed.
+//!
+//! [`select_train_evaluate`] chains the two: cross-validate on trainval,
+//! retrain with the winning pair, report GZSL numbers.
+
+use crate::data::{Dataset, Rng};
+use crate::infer::{
+    harmonic_mean, mean_per_class_accuracy, per_class_accuracy, ScoringEngine, Similarity,
+};
+use crate::model::{EszslConfig, EszslProblem, ProjectionModel, TrainError};
+
+/// Error from the evaluation harness.
+#[derive(Debug)]
+pub enum EvalError {
+    /// The cross-validation configuration is unusable (bad fold count, empty
+    /// grid, too few samples).
+    InvalidConfig(String),
+    /// Training failed inside a fold or the final fit.
+    Train(TrainError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::InvalidConfig(msg) => write!(f, "invalid eval config: {msg}"),
+            EvalError::Train(e) => write!(f, "training failed during evaluation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Train(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainError> for EvalError {
+    fn from(e: TrainError) -> Self {
+        EvalError::Train(e)
+    }
+}
+
+/// Generalized zero-shot evaluation result.
+///
+/// Accuracies are mean per-class (robust to class imbalance); the harmonic
+/// mean is the headline GZSL number. Per-class vectors are indexed by local
+/// seen / unseen class id; `None` marks a class with no test samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GzslReport {
+    /// Mean per-class accuracy of the seen test split against the union bank.
+    pub seen_accuracy: f64,
+    /// Mean per-class accuracy of the unseen test split against the union
+    /// bank.
+    pub unseen_accuracy: f64,
+    /// `2·s·u / (s + u)` of the two accuracies above.
+    pub harmonic_mean: f64,
+    /// Per-class accuracy over seen classes (index = seen class id).
+    pub per_class_seen: Vec<Option<f64>>,
+    /// Per-class accuracy over unseen classes (index = unseen class id).
+    pub per_class_unseen: Vec<Option<f64>>,
+}
+
+impl std::fmt::Display for GzslReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "GZSL seen accuracy   : {:.4}", self.seen_accuracy)?;
+        writeln!(f, "GZSL unseen accuracy : {:.4}", self.unseen_accuracy)?;
+        write!(f, "GZSL harmonic mean   : {:.4}", self.harmonic_mean)
+    }
+}
+
+/// Mean of the defined entries, 0 when none are defined.
+fn mean_defined(per_class: &[Option<f64>]) -> f64 {
+    let defined: Vec<f64> = per_class.iter().copied().flatten().collect();
+    if defined.is_empty() {
+        return 0.0;
+    }
+    defined.iter().sum::<f64>() / defined.len() as f64
+}
+
+/// Run the generalized ZSL protocol: score both test splits of `ds` against
+/// the union of seen and unseen signatures and summarize as a [`GzslReport`].
+///
+/// Unseen truth labels are offset by the seen-class count to index the union
+/// bank; a seen sample predicted as any unseen class (or vice versa) counts
+/// as an error, exactly as in the reference ESZSL evaluation.
+pub fn evaluate_gzsl(model: &ProjectionModel, ds: &Dataset, similarity: Similarity) -> GzslReport {
+    let num_seen = ds.seen_signatures.rows();
+    let num_unseen = ds.unseen_signatures.rows();
+    let total = num_seen + num_unseen;
+    let engine = ScoringEngine::new(model.clone(), ds.all_signatures(), similarity);
+
+    let seen_pred = engine.predict(&ds.test_seen_x);
+    let per_class_seen =
+        per_class_accuracy(&seen_pred, &ds.test_seen_labels, total)[..num_seen].to_vec();
+
+    let unseen_pred = engine.predict(&ds.test_unseen_x);
+    let unseen_truth: Vec<usize> = ds
+        .test_unseen_labels
+        .iter()
+        .map(|&l| l + num_seen)
+        .collect();
+    let per_class_unseen =
+        per_class_accuracy(&unseen_pred, &unseen_truth, total)[num_seen..].to_vec();
+
+    let seen_accuracy = mean_defined(&per_class_seen);
+    let unseen_accuracy = mean_defined(&per_class_unseen);
+    GzslReport {
+        seen_accuracy,
+        unseen_accuracy,
+        harmonic_mean: harmonic_mean(seen_accuracy, unseen_accuracy),
+        per_class_seen,
+        per_class_unseen,
+    }
+}
+
+/// Builder-style configuration for [`cross_validate`].
+#[derive(Clone, Debug)]
+pub struct CrossValConfig {
+    /// Candidate feature-space regularizers γ.
+    pub gammas: Vec<f64>,
+    /// Candidate attribute-space regularizers λ.
+    pub lambdas: Vec<f64>,
+    /// Number of folds `k`; each fold is held out once.
+    pub folds: usize,
+    /// Seed of the fold-assignment shuffle; fully determines the result.
+    pub seed: u64,
+    /// Similarity used for validation scoring.
+    pub similarity: Similarity,
+}
+
+impl Default for CrossValConfig {
+    /// Powers-of-ten grid `10⁻³..10³` for both regularizers (the standard
+    /// ESZSL search space), 3 folds, cosine similarity.
+    fn default() -> Self {
+        let decades: Vec<f64> = (-3..=3).map(|e| 10f64.powi(e)).collect();
+        CrossValConfig {
+            gammas: decades.clone(),
+            lambdas: decades,
+            folds: 3,
+            seed: 0x5EED,
+            similarity: Similarity::Cosine,
+        }
+    }
+}
+
+impl CrossValConfig {
+    /// Start from the defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the γ candidates.
+    pub fn gammas(mut self, gammas: Vec<f64>) -> Self {
+        self.gammas = gammas;
+        self
+    }
+
+    /// Set the λ candidates.
+    pub fn lambdas(mut self, lambdas: Vec<f64>) -> Self {
+        self.lambdas = lambdas;
+        self
+    }
+
+    /// Set the fold count (must be ≥ 2).
+    pub fn folds(mut self, folds: usize) -> Self {
+        self.folds = folds;
+        self
+    }
+
+    /// Set the shuffle seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the validation similarity.
+    pub fn similarity(mut self, similarity: Similarity) -> Self {
+        self.similarity = similarity;
+        self
+    }
+}
+
+/// One `(γ, λ)` grid point's cross-validation outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridPoint {
+    /// Feature-space regularizer.
+    pub gamma: f64,
+    /// Attribute-space regularizer.
+    pub lambda: f64,
+    /// Validation mean per-class accuracy, averaged over folds.
+    pub mean_accuracy: f64,
+    /// Per-fold validation accuracies (length = fold count).
+    pub fold_accuracies: Vec<f64>,
+}
+
+/// Full cross-validation outcome: the winning grid point plus the whole grid
+/// in sweep order (γ outer, λ inner).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossValReport {
+    /// The grid point with the highest mean accuracy (earliest wins ties).
+    pub best: GridPoint,
+    /// Every grid point, in sweep order.
+    pub grid: Vec<GridPoint>,
+    /// Fold count used.
+    pub folds: usize,
+}
+
+/// Seeded k-fold cross-validated grid search over `(γ, λ)` on seen-class
+/// training data.
+///
+/// Sample indices are shuffled once with [`Rng`] (Fisher–Yates, seeded by
+/// `config.seed`) and cut into `k` contiguous folds. For each fold, one
+/// [`EszslProblem`] is built from the other `k−1` folds and solved for every
+/// grid point; the held-out fold is scored against the full seen-class
+/// signature bank and summarized as mean per-class accuracy. Identical
+/// configuration + seed ⇒ identical report, regardless of thread count.
+pub fn cross_validate(
+    x: &crate::linalg::Matrix,
+    labels: &[usize],
+    signatures: &crate::linalg::Matrix,
+    config: &CrossValConfig,
+) -> Result<CrossValReport, EvalError> {
+    let n = x.rows();
+    if config.folds < 2 {
+        return Err(EvalError::InvalidConfig(format!(
+            "need at least 2 folds, got {}",
+            config.folds
+        )));
+    }
+    if n < config.folds {
+        return Err(EvalError::InvalidConfig(format!(
+            "{n} samples cannot be split into {} folds",
+            config.folds
+        )));
+    }
+    if config.gammas.is_empty() || config.lambdas.is_empty() {
+        return Err(EvalError::InvalidConfig(
+            "gamma and lambda grids must be non-empty".into(),
+        ));
+    }
+    if x.rows() != labels.len() {
+        return Err(EvalError::Train(TrainError::Shape(format!(
+            "{} feature rows but {} labels",
+            x.rows(),
+            labels.len()
+        ))));
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    Rng::new(config.seed).shuffle(&mut order);
+
+    let num_points = config.gammas.len() * config.lambdas.len();
+    let mut fold_accuracies = vec![Vec::with_capacity(config.folds); num_points];
+    let z = signatures.rows();
+
+    for fold in 0..config.folds {
+        // Contiguous slice of the shuffled order; balanced to within one
+        // sample.
+        let lo = fold * n / config.folds;
+        let hi = (fold + 1) * n / config.folds;
+        let val_idx = &order[lo..hi];
+        let train_idx: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+
+        let train_x = x.gather_rows(&train_idx);
+        let train_labels: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+        let val_x = x.gather_rows(val_idx);
+        let val_labels: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
+
+        // Gram matrices once per fold; each grid point only re-solves.
+        let problem = EszslProblem::new(&train_x, &train_labels, signatures)?;
+        let mut point = 0;
+        for &gamma in &config.gammas {
+            for &lambda in &config.lambdas {
+                let model = problem.solve(gamma, lambda)?;
+                let engine = ScoringEngine::new(model, signatures.clone(), config.similarity);
+                let pred = engine.predict(&val_x);
+                let acc = mean_per_class_accuracy(&pred, &val_labels, z);
+                fold_accuracies[point].push(acc);
+                point += 1;
+            }
+        }
+    }
+
+    let mut grid = Vec::with_capacity(num_points);
+    let mut point = 0;
+    for &gamma in &config.gammas {
+        for &lambda in &config.lambdas {
+            let folds = std::mem::take(&mut fold_accuracies[point]);
+            let mean_accuracy = folds.iter().sum::<f64>() / folds.len() as f64;
+            grid.push(GridPoint {
+                gamma,
+                lambda,
+                mean_accuracy,
+                fold_accuracies: folds,
+            });
+            point += 1;
+        }
+    }
+    let best = grid
+        .iter()
+        .reduce(|best, candidate| {
+            // Strictly-greater keeps the earliest grid point on ties, making
+            // selection deterministic and independent of float noise order.
+            if candidate
+                .mean_accuracy
+                .total_cmp(&best.mean_accuracy)
+                .is_gt()
+            {
+                candidate
+            } else {
+                best
+            }
+        })
+        .expect("grid is non-empty")
+        .clone();
+    Ok(CrossValReport {
+        best,
+        grid,
+        folds: config.folds,
+    })
+}
+
+/// The full experiment protocol: cross-validate `(γ, λ)` on the trainval
+/// split, retrain on all of it with the winner, and evaluate GZSL.
+///
+/// This is the path the `eval_dataset` example drives, and the one the
+/// round-trip acceptance test pins: the same `ds` always yields the same
+/// `(CrossValReport, GzslReport)` pair for a fixed config.
+pub fn select_train_evaluate(
+    ds: &Dataset,
+    config: &CrossValConfig,
+) -> Result<(CrossValReport, GzslReport), EvalError> {
+    let cv = cross_validate(&ds.train_x, &ds.train_labels, &ds.seen_signatures, config)?;
+    let model = EszslConfig::new()
+        .gamma(cv.best.gamma)
+        .lambda(cv.best.lambda)
+        .build()
+        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)?;
+    let report = evaluate_gzsl(&model, ds, config.similarity);
+    Ok((cv, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticConfig;
+
+    fn trained_dataset() -> (ProjectionModel, Dataset) {
+        let ds = SyntheticConfig::new().seed(99).build();
+        let model = EszslConfig::new()
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train");
+        (model, ds)
+    }
+
+    #[test]
+    fn gzsl_report_matches_hand_rolled_protocol() {
+        let (model, ds) = trained_dataset();
+        let report = evaluate_gzsl(&model, &ds, Similarity::Cosine);
+        assert!(report.harmonic_mean >= 0.9, "hm {}", report.harmonic_mean);
+        assert_eq!(report.per_class_seen.len(), ds.seen_signatures.rows());
+        assert_eq!(report.per_class_unseen.len(), ds.unseen_signatures.rows());
+        assert!(report.per_class_seen.iter().all(|a| a.is_some()));
+        // The report must equal the manual union-bank computation.
+        let engine = ScoringEngine::new(model.clone(), ds.all_signatures(), Similarity::Cosine);
+        let num_seen = ds.seen_signatures.rows();
+        let total = ds.num_classes();
+        let seen_pred = engine.predict(&ds.test_seen_x);
+        let manual_seen =
+            mean_defined(&per_class_accuracy(&seen_pred, &ds.test_seen_labels, total)[..num_seen]);
+        assert_eq!(report.seen_accuracy, manual_seen);
+        assert_eq!(
+            report.harmonic_mean,
+            harmonic_mean(report.seen_accuracy, report.unseen_accuracy)
+        );
+    }
+
+    #[test]
+    fn gzsl_handles_empty_test_splits_without_panicking() {
+        let ds = SyntheticConfig::new().classes(20, 5).samples(10, 0).build();
+        let model = EszslConfig::new()
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train");
+        let report = evaluate_gzsl(&model, &ds, Similarity::Cosine);
+        assert_eq!(report.seen_accuracy, 0.0);
+        assert_eq!(report.unseen_accuracy, 0.0);
+        assert_eq!(report.harmonic_mean, 0.0);
+        assert!(report.per_class_seen.iter().all(|a| a.is_none()));
+    }
+
+    #[test]
+    fn cross_validation_is_deterministic_for_a_fixed_seed() {
+        let ds = SyntheticConfig::new()
+            .classes(10, 2)
+            .dims(6, 8)
+            .samples(8, 2)
+            .build();
+        let config = CrossValConfig::new()
+            .gammas(vec![0.1, 1.0])
+            .lambdas(vec![0.1, 1.0])
+            .folds(3)
+            .seed(404);
+        let a = cross_validate(&ds.train_x, &ds.train_labels, &ds.seen_signatures, &config)
+            .expect("cv");
+        let b = cross_validate(&ds.train_x, &ds.train_labels, &ds.seen_signatures, &config)
+            .expect("cv");
+        assert_eq!(a, b, "same seed must reproduce the full report");
+        assert_eq!(a.grid.len(), 4);
+        assert!(a.grid.iter().all(|p| p.fold_accuracies.len() == 3));
+        // A different shuffle may (and here does) change fold accuracies.
+        let shifted = cross_validate(
+            &ds.train_x,
+            &ds.train_labels,
+            &ds.seen_signatures,
+            &config.clone().seed(405),
+        )
+        .expect("cv");
+        assert_eq!(shifted.grid.len(), a.grid.len());
+    }
+
+    #[test]
+    fn cross_validation_rejects_bad_configs() {
+        let ds = SyntheticConfig::new().classes(5, 1).samples(2, 1).build();
+        let base = CrossValConfig::new().gammas(vec![1.0]).lambdas(vec![1.0]);
+        assert!(matches!(
+            cross_validate(
+                &ds.train_x,
+                &ds.train_labels,
+                &ds.seen_signatures,
+                &base.clone().folds(1)
+            ),
+            Err(EvalError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            cross_validate(
+                &ds.train_x,
+                &ds.train_labels,
+                &ds.seen_signatures,
+                &base.clone().folds(99)
+            ),
+            Err(EvalError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            cross_validate(
+                &ds.train_x,
+                &ds.train_labels,
+                &ds.seen_signatures,
+                &base.clone().gammas(vec![])
+            ),
+            Err(EvalError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            cross_validate(
+                &ds.train_x,
+                &ds.train_labels,
+                &ds.seen_signatures,
+                &base.gammas(vec![-1.0])
+            ),
+            Err(EvalError::Train(TrainError::InvalidConfig(_)))
+        ));
+    }
+
+    #[test]
+    fn grid_search_prefers_points_that_score_better() {
+        // On clean synthetic data, moderate regularization should beat an
+        // absurdly large γ; the sweep must reflect that in its best pick.
+        let ds = SyntheticConfig::new().seed(123).build();
+        let config = CrossValConfig::new()
+            .gammas(vec![1.0, 1e6])
+            .lambdas(vec![1.0])
+            .folds(3)
+            .seed(7);
+        let report = cross_validate(&ds.train_x, &ds.train_labels, &ds.seen_signatures, &config)
+            .expect("cv");
+        assert_eq!(report.best.gamma, 1.0, "grid: {:?}", report.grid);
+        assert!(report.best.mean_accuracy > 0.9);
+    }
+
+    #[test]
+    fn select_train_evaluate_runs_end_to_end() {
+        let ds = SyntheticConfig::new().seed(55).build();
+        let config = CrossValConfig::new()
+            .gammas(vec![0.1, 1.0])
+            .lambdas(vec![0.1, 1.0])
+            .folds(3);
+        let (cv, report) = select_train_evaluate(&ds, &config).expect("experiment");
+        assert!(cv.best.mean_accuracy > 0.9);
+        assert!(report.harmonic_mean > 0.9);
+    }
+}

@@ -32,6 +32,31 @@ pub enum Similarity {
     Dot,
 }
 
+impl std::fmt::Display for Similarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Similarity::Cosine => write!(f, "cosine"),
+            Similarity::Dot => write!(f, "dot"),
+        }
+    }
+}
+
+impl std::str::FromStr for Similarity {
+    type Err = String;
+
+    /// Parse `"cosine"` or `"dot"` (case-insensitive) — the spelling used by
+    /// CLI flags and config files.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cosine" => Ok(Similarity::Cosine),
+            "dot" => Ok(Similarity::Dot),
+            other => Err(format!(
+                "unknown similarity '{other}', expected 'cosine' or 'dot'"
+            )),
+        }
+    }
+}
+
 /// A ranked prediction: class indices ordered best-first with their scores.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TopK {
@@ -599,6 +624,15 @@ mod tests {
             );
             assert_eq!(engine.predict(&x), baseline.predict(&x));
         }
+    }
+
+    #[test]
+    fn similarity_parses_and_displays_round_trip() {
+        for sim in [Similarity::Cosine, Similarity::Dot] {
+            assert_eq!(sim.to_string().parse::<Similarity>(), Ok(sim));
+        }
+        assert_eq!("COSINE".parse::<Similarity>(), Ok(Similarity::Cosine));
+        assert!("euclidean".parse::<Similarity>().is_err());
     }
 
     #[test]

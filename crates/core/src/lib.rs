@@ -24,9 +24,10 @@
 //! | Module | Paper concept |
 //! |--------|---------------|
 //! | [`linalg`] | dense math: blocked + row-banded parallel matmul, packed `A·Bᵀ` kernel, Cholesky solves for the two SPD systems |
-//! | [`model`] | the closed-form trainer (Eq. `W = (XᵀX+γI)⁻¹XᵀYS(SᵀS+λI)⁻¹`) |
+//! | [`model`] | the closed-form trainer (Eq. `W = (XᵀX+γI)⁻¹XᵀYS(SᵀS+λI)⁻¹`), [`model::EszslProblem`] Gram reuse for grid searches |
 //! | [`infer`] | [`infer::ScoringEngine`] (cached bank, parallel + chunked batch scoring), nearest-signature classification, top-k, ZSL/GZSL metrics |
-//! | [`data`]  | seeded synthetic datasets replacing the `.mat` feature dumps |
+//! | [`data`]  | seeded synthetic datasets **plus** on-disk bundles: `.zsb`/CSV feature dumps, signature tables, and `att_splits`-style split manifests loaded by [`data::DatasetBundle`] |
+//! | [`eval`]  | the GZSL protocol ([`eval::GzslReport`]) and seeded k-fold `(γ, λ)` cross-validation ([`eval::cross_validate`]) |
 //!
 //! ## End-to-end example
 //!
@@ -49,16 +50,24 @@
 //! ```
 
 pub mod data;
+pub mod eval;
 pub mod infer;
 pub mod linalg;
 pub mod model;
 
-pub use data::{Dataset, Rng, SyntheticConfig};
+pub use data::{
+    export_dataset, ClassMap, DataError, Dataset, DatasetBundle, FeatureFormat, FeatureTable, Rng,
+    SplitManifest, SyntheticConfig,
+};
+pub use eval::{
+    cross_validate, evaluate_gzsl, select_train_evaluate, CrossValConfig, CrossValReport,
+    EvalError, GridPoint, GzslReport,
+};
 pub use infer::{
     harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy, Classifier,
     ScoringEngine, Similarity, TopK,
 };
 pub use linalg::{default_threads, solve_spd, Cholesky, LinalgError, Matrix};
 pub use model::{
-    EszslConfig, EszslTrainer, ProjectionModel, RidgeConfig, RidgeTrainer, TrainError,
+    EszslConfig, EszslProblem, EszslTrainer, ProjectionModel, RidgeConfig, RidgeTrainer, TrainError,
 };

@@ -426,6 +426,24 @@ impl Matrix {
         }
     }
 
+    /// Copy of arbitrary (possibly repeated, unordered) rows into a new
+    /// matrix — the gather primitive behind split materialization and k-fold
+    /// subset extraction. Panics on an out-of-range index; callers validate
+    /// indices against their own error types first.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(
+                src < self.rows,
+                "row index {src} out of bounds for {} rows",
+                self.rows
+            );
+            out.data[dst * self.cols..(dst + 1) * self.cols]
+                .copy_from_slice(&self.data[src * self.cols..(src + 1) * self.cols]);
+        }
+        out
+    }
+
     /// Textbook triple-loop product. Kept as the oracle the blocked kernel is
     /// tested against; do not use on hot paths.
     pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
@@ -698,6 +716,20 @@ mod tests {
         }
         let empty = a.row_block(3..3);
         assert_eq!((empty.rows(), empty.cols()), (0, 4));
+    }
+
+    #[test]
+    fn gather_rows_copies_in_index_order_with_repeats() {
+        let mut rng = Rng::new(77);
+        let a = random_matrix(&mut rng, 6, 3);
+        let picked = a.gather_rows(&[4, 0, 4, 2]);
+        assert_eq!((picked.rows(), picked.cols()), (4, 3));
+        assert_eq!(picked.row(0), a.row(4));
+        assert_eq!(picked.row(1), a.row(0));
+        assert_eq!(picked.row(2), a.row(4));
+        assert_eq!(picked.row(3), a.row(2));
+        let empty = a.gather_rows(&[]);
+        assert_eq!((empty.rows(), empty.cols()), (0, 3));
     }
 
     #[test]

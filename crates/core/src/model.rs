@@ -176,28 +176,99 @@ impl EszslTrainer {
     ) -> Result<ProjectionModel, TrainError> {
         validate_regularizer("gamma", self.config.gamma)?;
         validate_regularizer("lambda", self.config.lambda)?;
-        let (x, s) = prepare_inputs(
+        EszslProblem::with_normalization(
             x,
             labels,
             signatures,
             self.config.normalize_features,
             self.config.normalize_signatures,
+        )?
+        .solve(self.config.gamma, self.config.lambda)
+    }
+}
+
+/// Precomputed Gram matrices of one ESZSL training problem, independent of
+/// the regularizers.
+///
+/// The closed form factors as `W = (XᵀX + γI)⁻¹ · XᵀYS · (SᵀS + λI)⁻¹`:
+/// everything except the two `+ γI` / `+ λI` shifts depends only on the data.
+/// Building the problem once and calling [`EszslProblem::solve`] per
+/// `(γ, λ)` pair turns a hyperparameter grid search (e.g. the k-fold
+/// cross-validation in [`crate::eval`]) from `O(grid · n·d²)` into
+/// `O(n·d² + grid · d³)` — the expensive `XᵀX` / `XᵀYS` products are paid
+/// once per fold, not once per grid point.
+///
+/// `solve` performs the identical floating-point operation sequence as
+/// [`EszslTrainer::train`], so results are bit-identical to the one-shot
+/// path (the golden tests pin this).
+#[derive(Clone, Debug)]
+pub struct EszslProblem {
+    /// `Xᵀ X : d x d`, unshifted.
+    xtx: Matrix,
+    /// `Xᵀ Y S : d x a`.
+    xtys: Matrix,
+    /// `Sᵀ S : a x a`, unshifted.
+    sts: Matrix,
+}
+
+impl EszslProblem {
+    /// Precompute the Gram matrices from raw (unnormalized) inputs.
+    pub fn new(x: &Matrix, labels: &[usize], signatures: &Matrix) -> Result<Self, TrainError> {
+        Self::with_normalization(x, labels, signatures, false, false)
+    }
+
+    /// Precompute with optional L2 row normalization of features and/or
+    /// signatures (matching the [`EszslConfig`] toggles).
+    pub fn with_normalization(
+        x: &Matrix,
+        labels: &[usize],
+        signatures: &Matrix,
+        normalize_features: bool,
+        normalize_signatures: bool,
+    ) -> Result<Self, TrainError> {
+        let (x, s) = prepare_inputs(
+            x,
+            labels,
+            signatures,
+            normalize_features,
+            normalize_signatures,
         )?;
 
         let xt = x.transpose();
 
-        // Left SPD system: (Xᵀ X + γI) M = Xᵀ (Y S). Y is one-hot, so Y S is
-        // just a per-sample gather of class signatures — never materialize
-        // the n x z one-hot matrix or pay the O(n·d·z) product.
-        let mut xtx = xt.matmul(&x);
-        xtx.add_scaled_identity(self.config.gamma);
+        // Y is one-hot, so Y S is just a per-sample gather of class
+        // signatures — never materialize the n x z one-hot matrix or pay the
+        // O(n·d·z) product.
+        let xtx = xt.matmul(&x);
         let ys = gather_signatures(labels, &s);
         let xtys = xt.matmul(&ys);
-        let m = solve_spd(&xtx, &xtys)?;
+        let sts = s.transpose().matmul(&s);
+        Ok(EszslProblem { xtx, xtys, sts })
+    }
+
+    /// Feature dimension `d` of the problem.
+    pub fn feature_dim(&self) -> usize {
+        self.xtx.rows()
+    }
+
+    /// Attribute dimension `a` of the problem.
+    pub fn attr_dim(&self) -> usize {
+        self.sts.rows()
+    }
+
+    /// Solve the closed form for one `(γ, λ)` pair.
+    pub fn solve(&self, gamma: f64, lambda: f64) -> Result<ProjectionModel, TrainError> {
+        validate_regularizer("gamma", gamma)?;
+        validate_regularizer("lambda", lambda)?;
+
+        // Left SPD system: (Xᵀ X + γI) M = Xᵀ (Y S).
+        let mut xtx = self.xtx.clone();
+        xtx.add_scaled_identity(gamma);
+        let m = solve_spd(&xtx, &self.xtys)?;
 
         // Right SPD system: W (Sᵀ S + λI) = M  ⇔  (Sᵀ S + λI) Wᵀ = Mᵀ.
-        let mut sts = s.transpose().matmul(&s);
-        sts.add_scaled_identity(self.config.lambda);
+        let mut sts = self.sts.clone();
+        sts.add_scaled_identity(lambda);
         let wt = solve_spd(&sts, &m.transpose())?;
 
         Ok(ProjectionModel::from_weights(wt.transpose()))
@@ -446,6 +517,33 @@ mod tests {
             .expect("train");
         assert_eq!(model.weights().rows(), ds.train_x.cols());
         assert_eq!(model.weights().cols(), ds.seen_signatures.cols());
+    }
+
+    #[test]
+    fn eszsl_problem_reuse_matches_one_shot_training_bit_for_bit() {
+        let ds = SyntheticConfig::new().seed(21).build();
+        let problem =
+            EszslProblem::new(&ds.train_x, &ds.train_labels, &ds.seen_signatures).expect("gram");
+        assert_eq!(problem.feature_dim(), ds.train_x.cols());
+        assert_eq!(problem.attr_dim(), ds.seen_signatures.cols());
+        for (gamma, lambda) in [(0.1, 0.1), (1.0, 10.0), (100.0, 0.01)] {
+            let reused = problem.solve(gamma, lambda).expect("solve");
+            let one_shot = EszslConfig::new()
+                .gamma(gamma)
+                .lambda(lambda)
+                .build()
+                .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+                .expect("train");
+            assert_eq!(
+                reused.weights().as_slice(),
+                one_shot.weights().as_slice(),
+                "gamma={gamma} lambda={lambda}"
+            );
+        }
+        assert!(matches!(
+            problem.solve(0.0, 1.0),
+            Err(TrainError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! These are the anchor tests named in the roadmap: training on synthetic
 //! seen classes must classify held-out unseen classes at ≥95% accuracy.
 
-use zsl_core::data::SyntheticConfig;
+use zsl_core::data::{export_dataset, DatasetBundle, FeatureFormat, SyntheticConfig};
+use zsl_core::eval::{select_train_evaluate, CrossValConfig};
 use zsl_core::infer::{
     harmonic_mean, mean_per_class_accuracy, overall_accuracy, Classifier, Similarity,
 };
@@ -122,6 +123,59 @@ fn topk_contains_top1_and_pipeline_is_deterministic() {
     }
     // Same data + same config ⇒ bit-identical predictions.
     assert_eq!(top1, clf_b.predict(&ds.test_unseen_x));
+}
+
+/// The PR-3 acceptance criterion: a synthetic dataset exported to both CSV
+/// and `.zsb`, reloaded, cross-validated, trained, and evaluated end-to-end
+/// must produce the same `GzslReport` as the in-memory pipeline —
+/// bit-identical scores — and the seeded k-fold grid search must be
+/// deterministic.
+#[test]
+fn disk_roundtrip_pipeline_matches_in_memory_pipeline_bit_for_bit() {
+    let ds = SyntheticConfig::new()
+        .classes(12, 3)
+        .dims(8, 10)
+        .samples(12, 6)
+        .seed(2027)
+        .build();
+    let config = CrossValConfig::new()
+        .gammas(vec![0.1, 1.0, 10.0])
+        .lambdas(vec![0.1, 1.0])
+        .folds(3)
+        .seed(11);
+    let (cv_mem, report_mem) = select_train_evaluate(&ds, &config).expect("in-memory");
+
+    for format in [FeatureFormat::Zsb, FeatureFormat::Csv] {
+        let dir = std::env::temp_dir().join(format!(
+            "zsl_e2e_roundtrip_{}_{format:?}",
+            std::process::id()
+        ));
+        export_dataset(&ds, &dir, format).expect("export");
+        let reloaded = DatasetBundle::load_with_format(&dir, format)
+            .expect("load")
+            .to_dataset()
+            .expect("materialize");
+        let (cv_disk, report_disk) = select_train_evaluate(&reloaded, &config).expect("from disk");
+        assert_eq!(
+            cv_disk, cv_mem,
+            "{format:?}: grid search must be bit-identical"
+        );
+        assert_eq!(
+            report_disk, report_mem,
+            "{format:?}: GzslReport must be bit-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Determinism: the same seed reproduces the search; the report is sane.
+    let (cv_again, report_again) = select_train_evaluate(&ds, &config).expect("rerun");
+    assert_eq!(cv_again, cv_mem);
+    assert_eq!(report_again, report_mem);
+    assert!(
+        report_mem.harmonic_mean > 0.9,
+        "hm {}",
+        report_mem.harmonic_mean
+    );
 }
 
 #[test]

@@ -1,0 +1,232 @@
+//! Golden-fixture regression test for the dataset loader and GZSL harness.
+//!
+//! A tiny bundle (both `features.zsb` and `features.csv`, sharing one
+//! `signatures.csv` + `splits.txt`) is committed under `tests/fixtures/
+//! tiny_bundle/`. This test freezes (a) the parsed contents — via FNV-1a
+//! digests over the exact f64 bit patterns — and (b) the `GzslReport` the
+//! fixture produces after training, so any drift in the binary layout, CSV
+//! parsing, label remapping, split materialization, trainer numerics, or
+//! report plumbing fails loudly.
+//!
+//! To regenerate after an *intentional* format change:
+//! `cargo test -p zsl-core --test golden_loader -- --ignored regenerate`
+//! then copy the printed constants into this file and commit the new fixture.
+
+use std::path::PathBuf;
+use zsl_core::data::{export_dataset, DatasetBundle, FeatureFormat, SyntheticConfig};
+use zsl_core::eval::evaluate_gzsl;
+use zsl_core::infer::Similarity;
+use zsl_core::linalg::Matrix;
+use zsl_core::model::EszslConfig;
+use zsl_core::Dataset;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("tiny_bundle")
+}
+
+/// The generator config behind the committed fixture. Only the regeneration
+/// path uses it; the golden assertions read the files alone.
+fn fixture_config() -> SyntheticConfig {
+    SyntheticConfig::new()
+        .classes(4, 2)
+        .dims(2, 3)
+        .samples(3, 2)
+        .noise(0.1)
+        .seed(7)
+}
+
+/// FNV-1a over the exact little-endian bit patterns of a matrix — one u64
+/// freezes every parsed float.
+fn digest_matrix(m: &Matrix) -> u64 {
+    let mut hash = fnv_seed();
+    hash = fnv_u64(hash, m.rows() as u64);
+    hash = fnv_u64(hash, m.cols() as u64);
+    for &v in m.as_slice() {
+        hash = fnv_u64(hash, v.to_bits());
+    }
+    hash
+}
+
+fn digest_labels(labels: &[usize]) -> u64 {
+    let mut hash = fnv_seed();
+    for &l in labels {
+        hash = fnv_u64(hash, l as u64);
+    }
+    hash
+}
+
+fn fnv_seed() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+fn fnv_u64(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn digest_dataset(ds: &Dataset) -> [u64; 8] {
+    [
+        digest_matrix(&ds.train_x),
+        digest_labels(&ds.train_labels),
+        digest_matrix(&ds.test_seen_x),
+        digest_labels(&ds.test_seen_labels),
+        digest_matrix(&ds.test_unseen_x),
+        digest_labels(&ds.test_unseen_labels),
+        digest_matrix(&ds.seen_signatures),
+        digest_matrix(&ds.unseen_signatures),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Frozen constants. Regenerate with the ignored test below.
+// ---------------------------------------------------------------------------
+
+/// Digests of the raw bundle: features matrix, dense labels, signatures.
+const GOLDEN_BUNDLE: [u64; 3] = [
+    0x73b6_03ed_aa34_e210,
+    0x2b2d_5d50_28d8_8b45,
+    0x5e93_5227_fcc3_5a95,
+];
+
+/// Digests of the materialized `Dataset` splits (see [`digest_dataset`]).
+const GOLDEN_DATASET: [u64; 8] = [
+    0xec30_fa77_8130_7f9a,
+    0xfc06_359d_60eb_b6a5,
+    0xa9fa_596d_a33e_a9f9,
+    0xfcb9_ff7e_38e6_a465,
+    0xf94b_7fd5_57c6_391f,
+    0xdc7e_c1b9_4565_2785,
+    0xb835_15ca_3884_030a,
+    0xf958_1ef3_8936_7c48,
+];
+
+/// Frozen `GzslReport` of the γ = λ = 1 trainer on the fixture, as exact f64
+/// bit patterns: seen accuracy 0.25, unseen accuracy 0.5, harmonic mean 1/3
+/// (the tiny noisy fixture is deliberately hard — only drift matters here).
+const GOLDEN_REPORT_BITS: [u64; 3] = [
+    0x3fd0_0000_0000_0000,
+    0x3fe0_0000_0000_0000,
+    0x3fd5_5555_5555_5555,
+];
+
+#[test]
+fn fixture_parses_to_frozen_contents_in_both_formats() {
+    let dir = fixture_dir();
+    let zsb = DatasetBundle::load_with_format(&dir, FeatureFormat::Zsb).expect("load zsb");
+    let csv = DatasetBundle::load_with_format(&dir, FeatureFormat::Csv).expect("load csv");
+
+    // The two on-disk formats must decode to identical bits.
+    assert_eq!(zsb.features.as_slice(), csv.features.as_slice());
+    assert_eq!(zsb.labels, csv.labels);
+    assert_eq!(zsb.signatures.as_slice(), csv.signatures.as_slice());
+    assert_eq!(zsb.manifest, csv.manifest);
+
+    assert_eq!((zsb.num_samples(), zsb.feature_dim()), (24, 3));
+    assert_eq!((zsb.num_classes(), zsb.attr_dim()), (6, 2));
+    let got = [
+        digest_matrix(&zsb.features),
+        digest_labels(&zsb.labels),
+        digest_matrix(&zsb.signatures),
+    ];
+    assert_eq!(
+        got, GOLDEN_BUNDLE,
+        "raw bundle drifted: got {got:#018x?}, frozen {GOLDEN_BUNDLE:#018x?}"
+    );
+
+    let ds = zsb.to_dataset().expect("materialize splits");
+    assert_eq!(ds.seen_signatures.rows(), 4);
+    assert_eq!(ds.unseen_signatures.rows(), 2);
+    let got = digest_dataset(&ds);
+    assert_eq!(
+        got, GOLDEN_DATASET,
+        "materialized dataset drifted: got {got:#018x?}, frozen {GOLDEN_DATASET:#018x?}"
+    );
+}
+
+#[test]
+fn fixture_produces_the_frozen_gzsl_report() {
+    let ds = DatasetBundle::load(&fixture_dir())
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let model = EszslConfig::new()
+        .gamma(1.0)
+        .lambda(1.0)
+        .build()
+        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+        .expect("train");
+    let report = evaluate_gzsl(&model, &ds, Similarity::Cosine);
+    let got = [
+        report.seen_accuracy.to_bits(),
+        report.unseen_accuracy.to_bits(),
+        report.harmonic_mean.to_bits(),
+    ];
+    assert_eq!(
+        got, GOLDEN_REPORT_BITS,
+        "GzslReport drifted: got ({}, {}, {}), bits {got:#018x?}",
+        report.seen_accuracy, report.unseen_accuracy, report.harmonic_mean
+    );
+    assert_eq!(report.per_class_seen.len(), 4);
+    assert_eq!(report.per_class_unseen.len(), 2);
+    assert!(report.per_class_seen.iter().all(|a| a.is_some()));
+}
+
+/// Regenerate the committed fixture and print the frozen constants.
+/// Intentional format changes only — run, copy the output into the constants
+/// above, and commit the new files.
+#[test]
+#[ignore = "writes the committed fixture; run explicitly after intentional format changes"]
+fn regenerate_fixture() {
+    let dir = fixture_dir();
+    let ds = fixture_config().build();
+    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export zsb");
+    export_dataset(&ds, &dir, FeatureFormat::Csv).expect("export csv");
+
+    let bundle = DatasetBundle::load_with_format(&dir, FeatureFormat::Zsb).expect("load");
+    let materialized = bundle.to_dataset().expect("materialize");
+    let model = EszslConfig::new()
+        .gamma(1.0)
+        .lambda(1.0)
+        .build()
+        .train(
+            &materialized.train_x,
+            &materialized.train_labels,
+            &materialized.seen_signatures,
+        )
+        .expect("train");
+    let report = evaluate_gzsl(&model, &materialized, Similarity::Cosine);
+
+    println!("const GOLDEN_BUNDLE: [u64; 3] = [");
+    for d in [
+        digest_matrix(&bundle.features),
+        digest_labels(&bundle.labels),
+        digest_matrix(&bundle.signatures),
+    ] {
+        println!("    {d:#018x},");
+    }
+    println!("];");
+    println!("const GOLDEN_DATASET: [u64; 8] = [");
+    for d in digest_dataset(&materialized) {
+        println!("    {d:#018x},");
+    }
+    println!("];");
+    println!("const GOLDEN_REPORT_BITS: [u64; 3] = [");
+    for d in [
+        report.seen_accuracy.to_bits(),
+        report.unseen_accuracy.to_bits(),
+        report.harmonic_mean.to_bits(),
+    ] {
+        println!("    {d:#018x},");
+    }
+    println!("];");
+    println!(
+        "// report: seen {} unseen {} hm {}",
+        report.seen_accuracy, report.unseen_accuracy, report.harmonic_mean
+    );
+}

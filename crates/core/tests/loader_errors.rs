@@ -1,0 +1,330 @@
+//! Error-path coverage for the dataset loader: corrupt, truncated, and
+//! inconsistent bundles must surface typed `DataError`s — never panics —
+//! because the loader is the boundary where untrusted on-disk data enters
+//! the engine.
+
+use std::path::PathBuf;
+use zsl_core::data::{
+    export_dataset, DataError, DatasetBundle, FeatureFormat, SplitManifest, SyntheticConfig,
+    FEATURES_CSV, FEATURES_ZSB, SIGNATURES_CSV, SPLITS_TXT,
+};
+
+/// Fresh bundle directory holding a small valid synthetic export.
+fn valid_bundle(tag: &str, format: FeatureFormat) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zsl_errors_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let ds = SyntheticConfig::new()
+        .classes(4, 2)
+        .dims(3, 5)
+        .samples(3, 2)
+        .seed(17)
+        .build();
+    export_dataset(&ds, &dir, format).expect("export");
+    dir
+}
+
+fn cleanup(dir: &PathBuf) {
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn truncated_zsb_is_a_typed_truncation_error() {
+    let dir = valid_bundle("truncated", FeatureFormat::Zsb);
+    let path = dir.join(FEATURES_ZSB);
+    let bytes = std::fs::read(&path).unwrap();
+    // Cut the payload mid-features; also try cutting inside the header.
+    for keep in [bytes.len() - 9, 40, 10] {
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        match DatasetBundle::load(&dir) {
+            Err(DataError::Truncated {
+                expected, actual, ..
+            }) => {
+                assert_eq!(actual, keep as u64);
+                assert!(expected > actual, "expected {expected} > actual {actual}");
+            }
+            other => panic!("keep={keep}: expected Truncated, got {other:?}"),
+        }
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn bad_magic_version_flags_and_trailing_bytes_are_header_errors() {
+    let dir = valid_bundle("header", FeatureFormat::Zsb);
+    let path = dir.join(FEATURES_ZSB);
+    let pristine = std::fs::read(&path).unwrap();
+
+    let mut bad_magic = pristine.clone();
+    bad_magic[0..4].copy_from_slice(b"NOPE");
+    let mut bad_version = pristine.clone();
+    bad_version[4..6].copy_from_slice(&99u16.to_le_bytes());
+    let mut bad_flags = pristine.clone();
+    bad_flags[6..8].copy_from_slice(&1u16.to_le_bytes());
+    let mut trailing = pristine.clone();
+    trailing.extend_from_slice(&[0u8; 7]);
+
+    for (what, bytes) in [
+        ("magic", bad_magic),
+        ("version", bad_version),
+        ("flags", bad_flags),
+        ("trailing", trailing),
+    ] {
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            matches!(DatasetBundle::load(&dir), Err(DataError::Header { .. })),
+            "{what} corruption must be a Header error"
+        );
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn header_dim_mismatches_are_detected() {
+    let dir = valid_bundle("dims", FeatureFormat::Zsb);
+    let path = dir.join(FEATURES_ZSB);
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Inflating feature_dim makes the promised payload longer than the file.
+    let mut wide = pristine.clone();
+    wide[16..20].copy_from_slice(&1000u32.to_le_bytes());
+    std::fs::write(&path, &wide).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::Truncated { .. })
+    ));
+
+    // A wrong class_count leaves the size intact but contradicts the labels.
+    let mut misclassed = pristine.clone();
+    misclassed[20..24].copy_from_slice(&2u32.to_le_bytes());
+    std::fs::write(&path, &misclassed).unwrap();
+    match DatasetBundle::load(&dir) {
+        Err(DataError::Header { message, .. }) => {
+            assert!(message.contains("distinct classes"), "got: {message}")
+        }
+        other => panic!("expected Header error, got {other:?}"),
+    }
+
+    // Zeroed n_samples is rejected outright.
+    let mut empty = pristine.clone();
+    empty[8..16].copy_from_slice(&0u64.to_le_bytes());
+    std::fs::write(&path, &empty).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::Header { .. })
+    ));
+    cleanup(&dir);
+}
+
+#[test]
+fn overflowing_header_dims_are_a_header_error_not_a_panic() {
+    // Regression: n_samples = 2^62 with feature_dim = 2 used to wrap the
+    // expected-size arithmetic back to exactly the header length, pass both
+    // length checks, and abort on allocation instead of returning an error.
+    let dir = valid_bundle("overflow", FeatureFormat::Zsb);
+    let path = dir.join(FEATURES_ZSB);
+    let mut bytes = std::fs::read(&path).unwrap()[..32].to_vec();
+    bytes[8..16].copy_from_slice(&(1u64 << 62).to_le_bytes()); // n_samples
+    bytes[16..20].copy_from_slice(&2u32.to_le_bytes()); // feature_dim
+    std::fs::write(&path, &bytes).unwrap();
+    match DatasetBundle::load(&dir) {
+        Err(DataError::Header { message, .. }) => {
+            assert!(message.contains("overflow"), "got: {message}")
+        }
+        other => panic!("expected Header overflow error, got {other:?}"),
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn unknown_class_in_features_is_reported_with_context() {
+    let dir = valid_bundle("unknown_feature_class", FeatureFormat::Csv);
+    let path = dir.join(FEATURES_CSV);
+    let mut text = std::fs::read_to_string(&path).unwrap();
+    // Relabel the first sample with a class the signature table lacks.
+    let first_comma = text.find(',').unwrap();
+    text.replace_range(..first_comma, "777");
+    std::fs::write(&path, text).unwrap();
+    match DatasetBundle::load(&dir) {
+        Err(DataError::UnknownClass {
+            label: 777,
+            context,
+        }) => {
+            assert!(context.contains(FEATURES_CSV), "context: {context}")
+        }
+        other => panic!("expected UnknownClass, got {other:?}"),
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn unknown_class_in_split_manifest_is_reported_with_context() {
+    let dir = valid_bundle("unknown_manifest_class", FeatureFormat::Zsb);
+    let path = dir.join(SPLITS_TXT);
+    let mut manifest = SplitManifest::read(&path).unwrap();
+    manifest.unseen_classes.as_mut().unwrap().push(424_242);
+    manifest.write(&path).unwrap();
+    match DatasetBundle::load(&dir) {
+        Err(DataError::UnknownClass {
+            label: 424_242,
+            context,
+        }) => {
+            assert!(context.contains(SPLITS_TXT), "context: {context}")
+        }
+        other => panic!("expected UnknownClass, got {other:?}"),
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn declared_unseen_set_must_match_observed_unseen_samples() {
+    let dir = valid_bundle("unseen_mismatch", FeatureFormat::Zsb);
+    let path = dir.join(SPLITS_TXT);
+    let mut manifest = SplitManifest::read(&path).unwrap();
+    // Class 0 exists but is a *seen* class: declared set no longer matches.
+    manifest.unseen_classes.as_mut().unwrap().push(0);
+    manifest.write(&path).unwrap();
+    let bundle = DatasetBundle::load(&dir).expect("labels all resolve");
+    assert!(matches!(bundle.to_dataset(), Err(DataError::Split { .. })));
+    cleanup(&dir);
+}
+
+#[test]
+fn empty_and_missing_splits_are_empty_split_errors() {
+    let dir = valid_bundle("empty_split", FeatureFormat::Zsb);
+    let path = dir.join(SPLITS_TXT);
+    let pristine = SplitManifest::read(&path).unwrap();
+
+    let mut empty = pristine.clone();
+    empty.test_unseen.clear();
+    empty.write(&path).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::EmptySplit { split }) if split == "test_unseen"
+    ));
+
+    // A manifest missing the trainval section entirely.
+    std::fs::write(&path, "test_seen: 0\ntest_unseen: 1\n").unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::EmptySplit { split }) if split == "trainval"
+    ));
+    cleanup(&dir);
+}
+
+#[test]
+fn malformed_manifest_lines_are_parse_errors() {
+    let dir = valid_bundle("bad_manifest", FeatureFormat::Zsb);
+    let path = dir.join(SPLITS_TXT);
+    for bad in [
+        "trainval 0 1\n",                                                // missing colon
+        "trainval: 0\nbogus_section: 1\ntest_seen: 2\ntest_unseen: 3\n", // unknown name
+        "trainval: 0\ntrainval: 1\ntest_seen: 2\ntest_unseen: 3\n",      // repeat
+        "trainval: zero\ntest_seen: 1\ntest_unseen: 2\n",                // bad index
+    ] {
+        std::fs::write(&path, bad).unwrap();
+        assert!(
+            matches!(DatasetBundle::load(&dir), Err(DataError::Parse { .. })),
+            "manifest {bad:?} must be a Parse error"
+        );
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn out_of_range_and_overlapping_split_indices_are_split_errors() {
+    let dir = valid_bundle("split_indices", FeatureFormat::Zsb);
+    let path = dir.join(SPLITS_TXT);
+    let pristine = SplitManifest::read(&path).unwrap();
+
+    let mut out_of_range = pristine.clone();
+    out_of_range.trainval.push(1_000_000);
+    out_of_range.write(&path).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::Split { .. })
+    ));
+
+    let mut overlapping = pristine.clone();
+    let stolen = overlapping.test_seen[0];
+    overlapping.trainval.push(stolen);
+    overlapping.write(&path).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::Split { .. })
+    ));
+    cleanup(&dir);
+}
+
+#[test]
+fn seen_unseen_class_overlap_is_rejected_at_materialization() {
+    let dir = valid_bundle("class_overlap", FeatureFormat::Zsb);
+    let path = dir.join(SPLITS_TXT);
+    let mut manifest = SplitManifest::read(&path).unwrap();
+    // Move a trainval sample into test_unseen: its (seen) class now appears
+    // on both sides of the GZSL boundary. Drop the declared unseen set so the
+    // overlap check itself fires.
+    let moved = manifest.trainval.pop().unwrap();
+    manifest.test_unseen.push(moved);
+    manifest.unseen_classes = None;
+    manifest.write(&path).unwrap();
+    let bundle = DatasetBundle::load(&dir).expect("structurally fine");
+    match bundle.to_dataset() {
+        Err(DataError::Split { message }) => {
+            assert!(
+                message.contains("both trainval and test_unseen"),
+                "got: {message}"
+            )
+        }
+        other => panic!("expected Split error, got {other:?}"),
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn ragged_and_non_numeric_csv_rows_are_parse_errors() {
+    let dir = valid_bundle("bad_csv", FeatureFormat::Csv);
+    let path = dir.join(FEATURES_CSV);
+    let pristine = std::fs::read_to_string(&path).unwrap();
+
+    let ragged = format!("{pristine}3,1.0\n");
+    std::fs::write(&path, ragged).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::Parse { .. })
+    ));
+
+    let garbled = format!("{pristine}3,1.0,abc,2.0,3.0,4.0\n");
+    std::fs::write(&path, garbled).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::Parse { .. })
+    ));
+    cleanup(&dir);
+}
+
+#[test]
+fn duplicate_signature_labels_are_rejected() {
+    let dir = valid_bundle("dup_class", FeatureFormat::Zsb);
+    let path = dir.join(SIGNATURES_CSV);
+    let mut text = std::fs::read_to_string(&path).unwrap();
+    let first_line = text.lines().next().unwrap().to_string();
+    text.push_str(&first_line);
+    text.push('\n');
+    std::fs::write(&path, text).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::DuplicateClass { label: 0 })
+    ));
+    cleanup(&dir);
+}
+
+#[test]
+fn missing_feature_table_is_an_io_error() {
+    let dir = valid_bundle("missing_features", FeatureFormat::Zsb);
+    std::fs::remove_file(dir.join(FEATURES_ZSB)).unwrap();
+    assert!(matches!(
+        DatasetBundle::load(&dir),
+        Err(DataError::Io { .. })
+    ));
+    cleanup(&dir);
+}

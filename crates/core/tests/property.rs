@@ -1,0 +1,140 @@
+//! Property-based test layer: seeded randomized sweeps with no external
+//! dependencies (all randomness flows through the crate's own `Rng`).
+//!
+//! Three families, matching the loader/solver invariants the subsystem
+//! promises:
+//! 1. bundle round-trips (write → read → bit-identical matrices) across
+//!    random shapes, seeds, and both on-disk formats;
+//! 2. raw-label ↔ dense-id remapping is bijective for arbitrary label sets;
+//! 3. Cholesky solve residuals stay below 1e-8 across 50 random SPD systems.
+
+use std::path::PathBuf;
+use zsl_core::data::{export_dataset, ClassMap, DatasetBundle, FeatureFormat, SyntheticConfig};
+use zsl_core::linalg::Matrix;
+use zsl_core::Rng;
+
+/// Unique scratch directory per test so parallel test binaries never collide.
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("zsl_property_{}_{tag}", std::process::id()))
+}
+
+#[test]
+fn bundle_roundtrip_is_bit_identical_across_shapes_seeds_and_formats() {
+    let mut sweep = Rng::new(0x0071_5EED);
+    for case in 0..8 {
+        // Random but valid dataset shape; small dims keep the sweep fast.
+        let seen = 2 + (sweep.next_u64() % 6) as usize;
+        let unseen = 1 + (sweep.next_u64() % 3) as usize;
+        let attr = 1 + (sweep.next_u64() % 5) as usize;
+        let feat = 1 + (sweep.next_u64() % 7) as usize;
+        let train = 1 + (sweep.next_u64() % 4) as usize;
+        let test = 1 + (sweep.next_u64() % 3) as usize;
+        let seed = sweep.next_u64();
+        let ds = SyntheticConfig::new()
+            .classes(seen, unseen)
+            .dims(attr, feat)
+            .samples(train, test)
+            .seed(seed)
+            .build();
+        for format in [FeatureFormat::Zsb, FeatureFormat::Csv] {
+            let dir = temp_dir(&format!("rt_{case}_{format:?}"));
+            export_dataset(&ds, &dir, format).expect("export");
+            let back = DatasetBundle::load_with_format(&dir, format)
+                .expect("load")
+                .to_dataset()
+                .expect("to_dataset");
+            let label = format!("case {case} ({seen}s/{unseen}u a{attr} f{feat}) {format:?}");
+            assert_eq!(back.train_x.as_slice(), ds.train_x.as_slice(), "{label}");
+            assert_eq!(back.train_labels, ds.train_labels, "{label}");
+            assert_eq!(
+                back.test_seen_x.as_slice(),
+                ds.test_seen_x.as_slice(),
+                "{label}"
+            );
+            assert_eq!(back.test_seen_labels, ds.test_seen_labels, "{label}");
+            assert_eq!(
+                back.test_unseen_x.as_slice(),
+                ds.test_unseen_x.as_slice(),
+                "{label}"
+            );
+            assert_eq!(back.test_unseen_labels, ds.test_unseen_labels, "{label}");
+            assert_eq!(
+                back.seen_signatures.as_slice(),
+                ds.seen_signatures.as_slice(),
+                "{label}"
+            );
+            assert_eq!(
+                back.unseen_signatures.as_slice(),
+                ds.unseen_signatures.as_slice(),
+                "{label}"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn class_label_remap_is_bijective_for_arbitrary_label_sets() {
+    let mut rng = Rng::new(0xB11E);
+    for case in 0..20 {
+        let n = 1 + (rng.next_u64() % 40) as usize;
+        // Distinct, scattered, non-contiguous raw labels in random order.
+        let mut raw: Vec<u32> = Vec::with_capacity(n);
+        while raw.len() < n {
+            let candidate = (rng.next_u64() % 1_000_000) as u32;
+            if !raw.contains(&candidate) {
+                raw.push(candidate);
+            }
+        }
+        let map = ClassMap::from_labels(&raw).expect("distinct labels");
+        assert_eq!(map.len(), n, "case {case}");
+        for (dense, &label) in raw.iter().enumerate() {
+            // dense → raw → dense and raw → dense → raw are both identities.
+            assert_eq!(map.dense(label), Some(dense), "case {case}");
+            assert_eq!(map.raw(dense), Some(label), "case {case}");
+        }
+        // Every id outside the range is unmapped.
+        assert_eq!(map.raw(n), None);
+        // Dense ids are exactly 0..n (surjective): collect and compare.
+        let mut dense_ids: Vec<usize> =
+            raw.iter().map(|&l| map.dense(l).expect("mapped")).collect();
+        dense_ids.sort_unstable();
+        assert_eq!(dense_ids, (0..n).collect::<Vec<_>>(), "case {case}");
+    }
+}
+
+#[test]
+fn cholesky_solve_residuals_below_1e8_across_50_random_spd_systems() {
+    let mut rng = Rng::new(0xCD01E5);
+    for system in 0..50 {
+        let n = 1 + (rng.next_u64() % 24) as usize;
+        // B random, A = BᵀB + I/2 is symmetric positive-definite and
+        // well-conditioned at these sizes.
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.normal()).collect());
+        let mut a = b.transpose().matmul(&b);
+        a.add_scaled_identity(0.5);
+
+        let chol = a.cholesky().expect("SPD factorization");
+        let rhs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let x = chol.solve_vec(&rhs);
+
+        // Residual ‖A·x − rhs‖∞ must be tiny relative to f64 precision.
+        let mut worst: f64 = 0.0;
+        for (r, &target) in rhs.iter().enumerate() {
+            let ax: f64 = a.row(r).iter().zip(&x).map(|(av, xv)| av * xv).sum();
+            worst = worst.max((ax - target).abs());
+        }
+        assert!(
+            worst < 1e-8,
+            "system {system} (n={n}): residual {worst:e} above 1e-8"
+        );
+
+        // The multi-RHS path must agree with the vector path bit-for-bit on
+        // its first column.
+        let rhs_matrix = Matrix::from_vec(n, 1, rhs.clone());
+        let x_matrix = chol.solve_matrix(&rhs_matrix).expect("solve_matrix");
+        for (r, &xv) in x.iter().enumerate() {
+            assert_eq!(x_matrix.get(r, 0), xv, "system {system} row {r}");
+        }
+    }
+}

@@ -13,3 +13,7 @@ fmt:
 
 build:
     cargo build --release
+
+# Public-API docs must stay warning-free (CI enforces the same flag).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
