@@ -10,18 +10,25 @@
 //! # Load it, grid-search hyperparameters with seeded k-fold CV, evaluate:
 //! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle
 //! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle --folds 5 --sim dot
+//!
+//! # Same protocol, but out-of-core: features are streamed from disk in
+//! # --chunk-rows blocks and never materialized (bit-identical reports):
+//! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle --stream --chunk-rows 1024
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use zsl_core::data::{export_dataset, DatasetBundle, FeatureFormat, SyntheticConfig};
-use zsl_core::eval::{select_train_evaluate, CrossValConfig};
+use zsl_core::data::{
+    export_dataset, DatasetBundle, FeatureFormat, StreamingBundle, SyntheticConfig,
+};
+use zsl_core::eval::{select_train_evaluate, select_train_evaluate_stream, CrossValConfig};
 use zsl_core::infer::Similarity;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  eval_dataset export <dir> [--csv] [--seed N]\n  \
-         eval_dataset eval <dir> [--csv] [--folds K] [--seed N] [--sim cosine|dot]"
+         eval_dataset eval <dir> [--csv] [--folds K] [--seed N] [--sim cosine|dot] \
+         [--stream] [--chunk-rows N]"
     );
     ExitCode::FAILURE
 }
@@ -38,13 +45,22 @@ fn main() -> ExitCode {
     // swallowed (an ignored `--csv` on eval would fake CSV-path coverage).
     let allowed: &[&str] = match command {
         "export" => &["--csv", "--seed"],
-        _ => &["--csv", "--seed", "--folds", "--sim"],
+        _ => &[
+            "--csv",
+            "--seed",
+            "--folds",
+            "--sim",
+            "--stream",
+            "--chunk-rows",
+        ],
     };
     let mut format = FeatureFormat::Zsb;
     let mut explicit_format = false;
     let mut seed: u64 = 2026;
     let mut folds: usize = 3;
     let mut similarity = Similarity::Cosine;
+    let mut stream = false;
+    let mut chunk_rows: usize = 4096;
     let mut rest = args[2..].iter();
     while let Some(flag) = rest.next() {
         if !allowed.contains(&flag.as_str()) {
@@ -56,7 +72,8 @@ fn main() -> ExitCode {
                 format = FeatureFormat::Csv;
                 explicit_format = true;
             }
-            "--seed" | "--folds" | "--sim" => {
+            "--stream" => stream = true,
+            "--seed" | "--folds" | "--sim" | "--chunk-rows" => {
                 let Some(value) = rest.next() else {
                     eprintln!("{flag} needs a value");
                     return usage();
@@ -64,6 +81,7 @@ fn main() -> ExitCode {
                 let ok = match flag.as_str() {
                     "--seed" => value.parse().map(|v| seed = v).is_ok(),
                     "--folds" => value.parse().map(|v| folds = v).is_ok(),
+                    "--chunk-rows" => value.parse().map(|v| chunk_rows = v).is_ok(),
                     _ => value.parse().map(|v| similarity = v).is_ok(),
                 };
                 if !ok {
@@ -99,6 +117,81 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "eval" if stream => {
+            // Out-of-core path: features are never materialized; the whole
+            // protocol (CV → final fit → GZSL report) reads the .zsb file in
+            // chunk_rows blocks and produces bit-identical numbers to the
+            // in-memory path. Shuffled CV folds need random row access, so
+            // this path is .zsb-only.
+            if explicit_format {
+                eprintln!(
+                    "--stream needs random row access for shuffled CV folds, which the \
+                     line-oriented CSV format cannot offer; drop --csv or re-export as .zsb"
+                );
+                return ExitCode::FAILURE;
+            }
+            let bundle =
+                match StreamingBundle::open_with_format(&dir, FeatureFormat::Zsb, chunk_rows) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("failed to open streaming bundle {}: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            println!(
+                "streaming bundle: {} samples x {} features, {} classes x {} attributes",
+                bundle.num_samples(),
+                bundle.feature_dim(),
+                bundle.num_classes(),
+                bundle.attr_dim()
+            );
+            println!(
+                "splits: {} trainval / {} test_seen / {} test_unseen ({} seen, {} unseen classes)",
+                bundle.manifest().trainval.len(),
+                bundle.manifest().test_seen.len(),
+                bundle.manifest().test_unseen.len(),
+                bundle.num_seen_classes(),
+                bundle.num_unseen_classes()
+            );
+            // A chunk never exceeds the table, so clamp before estimating;
+            // saturating math keeps absurd --chunk-rows values from wrapping.
+            let effective_chunk = chunk_rows.min(bundle.num_samples());
+            println!(
+                "chunk_rows {chunk_rows}: peak resident feature memory ≈ {} KiB \
+                 (vs {} KiB materialized)",
+                effective_chunk
+                    .saturating_mul(bundle.feature_dim())
+                    .saturating_mul(8)
+                    / 1024,
+                bundle
+                    .num_samples()
+                    .saturating_mul(bundle.feature_dim())
+                    .saturating_mul(8)
+                    / 1024
+            );
+            let config = CrossValConfig::new()
+                .folds(folds)
+                .seed(seed)
+                .similarity(similarity);
+            let (cv, report) = match select_train_evaluate_stream(&bundle, &config) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("streamed evaluation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "\n{}-fold CV over {} grid points (seed {seed}, {similarity} similarity, streamed):",
+                cv.folds,
+                cv.grid.len()
+            );
+            println!(
+                "selected gamma={} lambda={} (val acc {:.4})\n",
+                cv.best.gamma, cv.best.lambda, cv.best.mean_accuracy
+            );
+            println!("{report}");
+            ExitCode::SUCCESS
         }
         "eval" => {
             // --csv pins the CSV feature table; default auto-detection

@@ -88,21 +88,24 @@ pub fn write_zsb(path: &Path, table: &FeatureTable) -> Result<(), DataError> {
     std::fs::write(path, bytes).map_err(|e| DataError::io(path, e))
 }
 
-/// Read a `.zsb` feature dump written by [`write_zsb`].
-///
-/// Validates the magic, version, flags, non-zero dims, exact file length
-/// (both truncation and trailing garbage are errors), the header
-/// `class_count` against the labels actually present, and that every feature
-/// value is finite.
-pub fn read_zsb(path: &Path) -> Result<FeatureTable, DataError> {
-    let bytes = std::fs::read(path).map_err(|e| DataError::io(path, e))?;
-    if (bytes.len() as u64) < ZSB_HEADER_LEN {
-        return Err(DataError::Truncated {
-            path: path.into(),
-            expected: ZSB_HEADER_LEN,
-            actual: bytes.len() as u64,
-        });
-    }
+/// A validated `.zsb` header: magic, version, flags, and reserved bytes have
+/// been checked, dimensions are non-zero, but lengths are *not* yet compared
+/// against the file (callers hold that information).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ZsbHeader {
+    /// Number of sample rows the header promises.
+    pub n_samples: u64,
+    /// Feature columns per row.
+    pub feature_dim: u64,
+    /// Distinct raw labels the header claims.
+    pub class_count: u32,
+}
+
+/// Parse and validate the fixed 32-byte `.zsb` header (shared by the
+/// in-memory [`read_zsb`] wrapper and the streaming
+/// [`crate::data::stream::ZsbChunkReader`], so both reject exactly the same
+/// corruptions with the same messages).
+pub(crate) fn parse_zsb_header(path: &Path, bytes: &[u8; 32]) -> Result<ZsbHeader, DataError> {
     let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
     if magic != ZSB_MAGIC {
         return Err(DataError::header(
@@ -140,9 +143,28 @@ pub fn read_zsb(path: &Path) -> Result<FeatureTable, DataError> {
             format!("zero-sized table: n_samples={n}, feature_dim={d}, class_count={class_count}"),
         ));
     }
-    // Header fields are attacker-controlled: checked arithmetic keeps a
-    // crafted n_samples/feature_dim pair from wrapping `expected` back into
-    // range and panicking on allocation instead of returning an error.
+    Ok(ZsbHeader {
+        n_samples: n,
+        feature_dim: d,
+        class_count,
+    })
+}
+
+/// Validate a header's dimensions against the platform and compute the exact
+/// file length it promises.
+///
+/// Header fields are attacker-controlled: checked arithmetic keeps a crafted
+/// `n_samples`/`feature_dim` pair from wrapping the expected size back into
+/// range and panicking on allocation instead of returning an error; the
+/// explicit `usize` conversions additionally reject tables whose cell count
+/// cannot be addressed on this platform (a real hazard on 32-bit targets).
+///
+/// Returns `(n_samples, feature_dim, expected_file_len)`.
+pub(crate) fn zsb_validate_dims(
+    path: &Path,
+    n: u64,
+    d: u64,
+) -> Result<(usize, usize, u64), DataError> {
     let expected = 4u64
         .checked_mul(n)
         .and_then(|labels| 8u64.checked_mul(n)?.checked_mul(d)?.checked_add(labels))
@@ -153,64 +175,45 @@ pub fn read_zsb(path: &Path) -> Result<FeatureTable, DataError> {
             format!("header dims overflow: n_samples={n} x feature_dim={d}"),
         ));
     };
-    let actual = bytes.len() as u64;
-    if actual < expected {
-        return Err(DataError::Truncated {
-            path: path.into(),
-            expected,
-            actual,
-        });
-    }
-    if actual > expected {
+    // Both the cell count and the feature byte count (8·n·d — the largest
+    // buffer any reader sizes; the 4·n label block is strictly smaller for
+    // d ≥ 1) must be addressable, or chunk-size arithmetic could wrap on
+    // 32-bit targets.
+    let cells = usize::try_from(n)
+        .ok()
+        .zip(usize::try_from(d).ok())
+        .and_then(|(n, d)| n.checked_mul(d)?.checked_mul(8).map(|_| (n, d)));
+    let Some((n, d)) = cells else {
         return Err(DataError::header(
             path,
-            format!(
-                "{} trailing bytes after the feature payload",
-                actual - expected
-            ),
+            format!("header dims overflow usize on this platform: n_samples={n} x feature_dim={d}"),
         ));
-    }
-
-    let n = n as usize;
-    let d = d as usize;
-    let mut labels = Vec::with_capacity(n);
-    let mut offset = ZSB_HEADER_LEN as usize;
-    for _ in 0..n {
-        labels.push(u32::from_le_bytes(
-            bytes[offset..offset + 4].try_into().expect("4 bytes"),
-        ));
-        offset += 4;
-    }
-    let mut data = Vec::with_capacity(n * d);
-    for i in 0..n * d {
-        let v = f64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
-        if !v.is_finite() {
-            return Err(DataError::header(
-                path,
-                format!(
-                    "non-finite feature value {v} at row {}, col {}",
-                    i / d,
-                    i % d
-                ),
-            ));
-        }
-        data.push(v);
-        offset += 8;
-    }
-    let table = FeatureTable {
-        labels,
-        features: Matrix::from_vec(n, d, data),
     };
-    if table.distinct_classes() != class_count as usize {
-        return Err(DataError::header(
-            path,
-            format!(
-                "header claims {class_count} distinct classes but labels contain {}",
-                table.distinct_classes()
-            ),
-        ));
+    Ok((n, d, expected))
+}
+
+/// Read a `.zsb` feature dump written by [`write_zsb`].
+///
+/// Validates the magic, version, flags, non-zero dims, exact file length
+/// (both truncation and trailing garbage are errors), the header
+/// `class_count` against the labels actually present, and that every feature
+/// value is finite.
+///
+/// This is a thin wrapper over the chunked
+/// [`crate::data::stream::ZsbChunkReader`]: the streaming reader is the one
+/// real decoder, and this path simply concatenates its chunks, so the two can
+/// never drift apart.
+pub fn read_zsb(path: &Path) -> Result<FeatureTable, DataError> {
+    let mut reader = super::stream::ZsbChunkReader::open(path, usize::MAX)?;
+    let (n, d) = (reader.num_samples(), reader.feature_dim());
+    let mut data = Vec::with_capacity(n * d);
+    for chunk in &mut reader {
+        data.extend_from_slice(chunk?.features.as_slice());
     }
-    Ok(table)
+    Ok(FeatureTable {
+        labels: reader.labels().to_vec(),
+        features: Matrix::from_vec(n, d, data),
+    })
 }
 
 /// Write a feature table as CSV, one `label,f0,f1,...` line per sample.
@@ -226,12 +229,24 @@ pub fn write_features_csv(path: &Path, table: &FeatureTable) -> Result<(), DataE
 }
 
 /// Read a CSV feature table written by [`write_features_csv`].
+///
+/// Thin wrapper over the chunked [`crate::data::stream::CsvChunkReader`]
+/// (mirroring [`read_zsb`]): the streaming parser is the one real decoder.
 pub fn read_features_csv(path: &Path) -> Result<FeatureTable, DataError> {
-    let (labels, features) = read_labeled_csv(path)?;
-    if features.rows() == 0 {
-        return Err(DataError::parse(path, 1, "feature table has no rows"));
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    let mut cols = 0;
+    for chunk in super::stream::CsvChunkReader::open(path, usize::MAX)? {
+        let chunk = chunk?;
+        cols = chunk.features.cols();
+        labels.extend_from_slice(&chunk.labels);
+        data.extend_from_slice(chunk.features.as_slice());
     }
-    Ok(FeatureTable { labels, features })
+    let rows = labels.len();
+    Ok(FeatureTable {
+        labels,
+        features: Matrix::from_vec(rows, cols, data),
+    })
 }
 
 /// Write the signature table: one `label,a0,a1,...` line per class, in dense
@@ -469,6 +484,69 @@ fn write_csv_row(out: &mut Vec<u8>, label: u32, values: &[f64]) {
     writeln!(out).expect("vec write");
 }
 
+/// Parse one line of a `label,v0,v1,...` CSV table, appending the row's
+/// values to `data`. Returns `Ok(Some(label))` for a data row, `Ok(None)` for
+/// a blank or `#`-comment line. `cols` tracks the established row width so
+/// ragged rows fail exactly as they always have.
+///
+/// Shared by the in-memory [`read_labeled_csv`] and the streaming
+/// [`crate::data::stream::CsvChunkReader`], so the two parsers cannot drift:
+/// same trimming, same error strings, same finite-value policy. On `Err`,
+/// partially appended values may remain in `data`; every caller treats a
+/// parse error as fatal for the whole table.
+pub(crate) fn parse_labeled_csv_line(
+    path: &Path,
+    line_no: usize,
+    raw_line: &str,
+    cols: &mut Option<usize>,
+    data: &mut Vec<f64>,
+) -> Result<Option<u32>, DataError> {
+    let line = raw_line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split(',');
+    let label_tok = fields.next().expect("split yields at least one field");
+    let label = label_tok
+        .parse::<u32>()
+        .map_err(|_| DataError::parse(path, line_no, format!("bad class label '{label_tok}'")))?;
+    let mut row_width = 0;
+    for tok in fields {
+        let v = tok
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| DataError::parse(path, line_no, format!("bad float '{tok}'")))?;
+        if !v.is_finite() {
+            return Err(DataError::parse(
+                path,
+                line_no,
+                format!("non-finite value {v}"),
+            ));
+        }
+        data.push(v);
+        row_width += 1;
+    }
+    if row_width == 0 {
+        return Err(DataError::parse(
+            path,
+            line_no,
+            "row has a label but no values",
+        ));
+    }
+    match cols {
+        None => *cols = Some(row_width),
+        Some(w) if *w != row_width => {
+            return Err(DataError::parse(
+                path,
+                line_no,
+                format!("ragged row: {row_width} values, previous rows had {w}"),
+            ));
+        }
+        Some(_) => {}
+    }
+    Ok(Some(label))
+}
+
 /// Parse a `label,v0,v1,...` CSV file into labels plus a dense matrix.
 /// Rejects ragged rows, non-numeric fields, and non-finite values.
 fn read_labeled_csv(path: &Path) -> Result<(Vec<u32>, Matrix), DataError> {
@@ -477,51 +555,11 @@ fn read_labeled_csv(path: &Path) -> Result<(Vec<u32>, Matrix), DataError> {
     let mut data = Vec::new();
     let mut cols: Option<usize> = None;
     for (line_no, raw_line) in text.lines().enumerate() {
-        let line_no = line_no + 1;
-        let line = raw_line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        if let Some(label) =
+            parse_labeled_csv_line(path, line_no + 1, raw_line, &mut cols, &mut data)?
+        {
+            labels.push(label);
         }
-        let mut fields = line.split(',');
-        let label_tok = fields.next().expect("split yields at least one field");
-        let label = label_tok.parse::<u32>().map_err(|_| {
-            DataError::parse(path, line_no, format!("bad class label '{label_tok}'"))
-        })?;
-        let mut row_width = 0;
-        for tok in fields {
-            let v = tok
-                .trim()
-                .parse::<f64>()
-                .map_err(|_| DataError::parse(path, line_no, format!("bad float '{tok}'")))?;
-            if !v.is_finite() {
-                return Err(DataError::parse(
-                    path,
-                    line_no,
-                    format!("non-finite value {v}"),
-                ));
-            }
-            data.push(v);
-            row_width += 1;
-        }
-        if row_width == 0 {
-            return Err(DataError::parse(
-                path,
-                line_no,
-                "row has a label but no values",
-            ));
-        }
-        match cols {
-            None => cols = Some(row_width),
-            Some(w) if w != row_width => {
-                return Err(DataError::parse(
-                    path,
-                    line_no,
-                    format!("ragged row: {row_width} values, previous rows had {w}"),
-                ));
-            }
-            Some(_) => {}
-        }
-        labels.push(label);
     }
     let cols = cols.unwrap_or(0);
     let rows = labels.len();

@@ -112,30 +112,66 @@ pub struct DatasetBundle {
     pub manifest: SplitManifest,
 }
 
+/// Auto-detect a bundle's feature format, preferring `features.zsb` over
+/// `features.csv` when both exist. Shared by [`DatasetBundle::load`] and
+/// [`crate::data::StreamingBundle::open`], so the two loaders cannot drift.
+pub(crate) fn detect_feature_format(dir: &Path) -> Result<FeatureFormat, DataError> {
+    if dir.join(FEATURES_ZSB).is_file() {
+        Ok(FeatureFormat::Zsb)
+    } else if dir.join(FEATURES_CSV).is_file() {
+        Ok(FeatureFormat::Csv)
+    } else {
+        Err(DataError::io(
+            dir.join(FEATURES_ZSB),
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("bundle has neither {FEATURES_ZSB} nor {FEATURES_CSV}"),
+            ),
+        ))
+    }
+}
+
+/// Load `signatures.csv` and build the raw-label ↔ dense-id map — the bundle
+/// prologue shared by the in-memory and streaming loaders.
+pub(crate) fn load_signature_table(dir: &Path) -> Result<(Matrix, ClassMap), DataError> {
+    let (raw_class_labels, signatures) = read_signatures_csv(&dir.join(SIGNATURES_CSV))?;
+    let class_map = ClassMap::from_labels(&raw_class_labels)?;
+    Ok((signatures, class_map))
+}
+
+/// Read and cross-validate `splits.txt` against the sample count and class
+/// map (index validity plus declared-unseen-class existence) — shared by the
+/// in-memory and streaming loaders.
+pub(crate) fn load_validated_manifest(
+    dir: &Path,
+    num_samples: usize,
+    class_map: &ClassMap,
+) -> Result<SplitManifest, DataError> {
+    let manifest = SplitManifest::read(&dir.join(SPLITS_TXT))?;
+    manifest.validate(num_samples)?;
+    if let Some(declared) = &manifest.unseen_classes {
+        for &raw in declared {
+            if class_map.dense(raw).is_none() {
+                return Err(DataError::UnknownClass {
+                    label: raw,
+                    context: format!("{SPLITS_TXT} unseen_classes"),
+                });
+            }
+        }
+    }
+    Ok(manifest)
+}
+
 impl DatasetBundle {
     /// Load a bundle directory, preferring `features.zsb` over
     /// `features.csv` when both exist.
     pub fn load(dir: &Path) -> Result<Self, DataError> {
-        let format = if dir.join(FEATURES_ZSB).is_file() {
-            FeatureFormat::Zsb
-        } else if dir.join(FEATURES_CSV).is_file() {
-            FeatureFormat::Csv
-        } else {
-            return Err(DataError::io(
-                dir.join(FEATURES_ZSB),
-                std::io::Error::new(
-                    std::io::ErrorKind::NotFound,
-                    format!("bundle has neither {FEATURES_ZSB} nor {FEATURES_CSV}"),
-                ),
-            ));
-        };
-        Self::load_with_format(dir, format)
+        Self::load_with_format(dir, detect_feature_format(dir)?)
     }
 
     /// Load a bundle directory with an explicit feature-table format.
     pub fn load_with_format(dir: &Path, format: FeatureFormat) -> Result<Self, DataError> {
-        let (raw_class_labels, signatures) = read_signatures_csv(&dir.join(SIGNATURES_CSV))?;
-        let class_map = ClassMap::from_labels(&raw_class_labels)?;
+        let (signatures, class_map) = load_signature_table(dir)?;
 
         let features_path = dir.join(format.file_name());
         let table = match format {
@@ -144,18 +180,7 @@ impl DatasetBundle {
         };
         let labels = remap_labels(&table.labels, &class_map, format.file_name())?;
 
-        let manifest = SplitManifest::read(&dir.join(SPLITS_TXT))?;
-        manifest.validate(table.features.rows())?;
-        if let Some(declared) = &manifest.unseen_classes {
-            for &raw in declared {
-                if class_map.dense(raw).is_none() {
-                    return Err(DataError::UnknownClass {
-                        label: raw,
-                        context: format!("{SPLITS_TXT} unseen_classes"),
-                    });
-                }
-            }
-        }
+        let manifest = load_validated_manifest(dir, table.features.rows(), &class_map)?;
 
         Ok(DatasetBundle {
             features: table.features,
@@ -186,6 +211,19 @@ impl DatasetBundle {
         self.signatures.rows()
     }
 
+    /// Resolve the GZSL class structure of this bundle's splits — see
+    /// [`SplitPlan`]. Shared by [`DatasetBundle::to_dataset`] and the
+    /// streaming path ([`crate::data::StreamingBundle`]), so both enforce the
+    /// identical protocol checks.
+    pub fn split_plan(&self) -> Result<SplitPlan, DataError> {
+        SplitPlan::compute(
+            &self.labels,
+            &self.manifest,
+            &self.class_map,
+            self.num_classes(),
+        )
+    }
+
     /// Materialize the manifest's splits as an in-memory [`Dataset`].
     ///
     /// Seen classes are those with at least one `trainval` sample, unseen
@@ -194,20 +232,82 @@ impl DatasetBundle {
     /// `test_seen` sample belongs to a class never trained on, or when the
     /// manifest's declared `unseen_classes` disagree with the samples.
     pub fn to_dataset(&self) -> Result<Dataset, DataError> {
-        let z = self.num_classes();
+        let plan = self.split_plan()?;
+
+        let gather = |indices: &[usize], rank: &[usize]| -> (Matrix, Vec<usize>) {
+            let x = self.features.gather_rows(indices);
+            let labels = indices
+                .iter()
+                .map(|&i| {
+                    let r = rank[self.labels[i]];
+                    debug_assert_ne!(r, usize::MAX, "rank validated by SplitPlan::compute");
+                    r
+                })
+                .collect();
+            (x, labels)
+        };
+
+        let (train_x, train_labels) = gather(&self.manifest.trainval, &plan.seen_rank);
+        let (test_seen_x, test_seen_labels) = gather(&self.manifest.test_seen, &plan.seen_rank);
+        let (test_unseen_x, test_unseen_labels) =
+            gather(&self.manifest.test_unseen, &plan.unseen_rank);
+
+        Ok(Dataset {
+            train_x,
+            train_labels,
+            test_seen_x,
+            test_seen_labels,
+            test_unseen_x,
+            test_unseen_labels,
+            seen_signatures: self.signatures.gather_rows(&plan.seen_classes),
+            unseen_signatures: self.signatures.gather_rows(&plan.unseen_classes),
+        })
+    }
+}
+
+/// The resolved GZSL class structure of a bundle's splits: which dense class
+/// ids are seen (≥ 1 `trainval` sample) vs unseen (observed in
+/// `test_unseen`), in dense-id order, plus the rank of each class within its
+/// list — the local label space the trainers and evaluators use.
+///
+/// Computing the plan performs the protocol checks that used to live inside
+/// `to_dataset`: seen/unseen overlap, declared-unseen-set agreement, and
+/// `test_seen` samples whose class was never trained on.
+#[derive(Clone, Debug)]
+pub struct SplitPlan {
+    /// Dense class ids with at least one `trainval` sample, ascending.
+    pub seen_classes: Vec<usize>,
+    /// Dense class ids observed in `test_unseen`, ascending.
+    pub unseen_classes: Vec<usize>,
+    /// Dense class id → rank in `seen_classes` (`usize::MAX` when unseen).
+    pub(crate) seen_rank: Vec<usize>,
+    /// Dense class id → rank in `unseen_classes` (`usize::MAX` when seen).
+    pub(crate) unseen_rank: Vec<usize>,
+}
+
+impl SplitPlan {
+    /// Build the plan from per-sample dense labels and a validated manifest,
+    /// running every GZSL protocol check.
+    pub(crate) fn compute(
+        labels: &[usize],
+        manifest: &SplitManifest,
+        class_map: &ClassMap,
+        num_classes: usize,
+    ) -> Result<Self, DataError> {
+        let z = num_classes;
         let mut in_trainval = vec![false; z];
-        for &i in &self.manifest.trainval {
-            in_trainval[self.labels[i]] = true;
+        for &i in &manifest.trainval {
+            in_trainval[labels[i]] = true;
         }
         let mut in_unseen = vec![false; z];
-        for &i in &self.manifest.test_unseen {
-            let class = self.labels[i];
+        for &i in &manifest.test_unseen {
+            let class = labels[i];
             if in_trainval[class] {
                 return Err(DataError::Split {
                     message: format!(
                         "class {} (raw label {}) has samples in both trainval and test_unseen",
                         class,
-                        self.class_map.raw(class).expect("dense id in range")
+                        class_map.raw(class).expect("dense id in range")
                     ),
                 });
             }
@@ -216,10 +316,10 @@ impl DatasetBundle {
 
         let seen_classes: Vec<usize> = (0..z).filter(|&c| in_trainval[c]).collect();
         let unseen_classes: Vec<usize> = (0..z).filter(|&c| in_unseen[c]).collect();
-        if let Some(declared) = &self.manifest.unseen_classes {
+        if let Some(declared) = &manifest.unseen_classes {
             let mut declared_dense: Vec<usize> = declared
                 .iter()
-                .map(|&raw| self.class_map.dense(raw).expect("checked at load"))
+                .map(|&raw| class_map.dense(raw).expect("checked at load"))
                 .collect();
             declared_dense.sort_unstable();
             if declared_dense != unseen_classes {
@@ -242,52 +342,46 @@ impl DatasetBundle {
             unseen_rank[c] = rank;
         }
 
-        let gather = |indices: &[usize],
-                      rank: &[usize],
-                      split: &str|
-         -> Result<(Matrix, Vec<usize>), DataError> {
-            let x = self.features.gather_rows(indices);
-            let mut labels = Vec::with_capacity(indices.len());
-            for &i in indices {
-                let r = rank[self.labels[i]];
-                if r == usize::MAX {
-                    return Err(DataError::Split {
-                        message: format!(
-                            "{split} sample {i} belongs to class with raw label {} \
-                             which has no trainval samples",
-                            self.class_map
-                                .raw(self.labels[i])
-                                .expect("dense id in range")
-                        ),
-                    });
-                }
-                labels.push(r);
+        // trainval and test_unseen classes rank by construction; only a
+        // test_seen sample can reference a class that was never trained on.
+        for &i in &manifest.test_seen {
+            if seen_rank[labels[i]] == usize::MAX {
+                return Err(DataError::Split {
+                    message: format!(
+                        "test_seen sample {i} belongs to class with raw label {} \
+                         which has no trainval samples",
+                        class_map.raw(labels[i]).expect("dense id in range")
+                    ),
+                });
             }
-            Ok((x, labels))
-        };
+        }
 
-        let (train_x, train_labels) = gather(&self.manifest.trainval, &seen_rank, "trainval")?;
-        let (test_seen_x, test_seen_labels) =
-            gather(&self.manifest.test_seen, &seen_rank, "test_seen")?;
-        let (test_unseen_x, test_unseen_labels) =
-            gather(&self.manifest.test_unseen, &unseen_rank, "test_unseen")?;
-
-        Ok(Dataset {
-            train_x,
-            train_labels,
-            test_seen_x,
-            test_seen_labels,
-            test_unseen_x,
-            test_unseen_labels,
-            seen_signatures: self.signatures.gather_rows(&seen_classes),
-            unseen_signatures: self.signatures.gather_rows(&unseen_classes),
+        Ok(SplitPlan {
+            seen_classes,
+            unseen_classes,
+            seen_rank,
+            unseen_rank,
         })
+    }
+
+    /// Number of seen classes.
+    pub fn num_seen(&self) -> usize {
+        self.seen_classes.len()
+    }
+
+    /// Number of unseen classes.
+    pub fn num_unseen(&self) -> usize {
+        self.unseen_classes.len()
     }
 }
 
 /// Map a feature table's raw labels to dense class ids, failing with
 /// [`DataError::UnknownClass`] on a label the signature table lacks.
-fn remap_labels(raw: &[u32], class_map: &ClassMap, context: &str) -> Result<Vec<usize>, DataError> {
+pub(crate) fn remap_labels(
+    raw: &[u32],
+    class_map: &ClassMap,
+    context: &str,
+) -> Result<Vec<usize>, DataError> {
     raw.iter()
         .map(|&label| {
             class_map

@@ -16,18 +16,27 @@
 //! [`export_dataset`] writes any [`Dataset`] as a bundle; the round trip
 //! (write → read → [`DatasetBundle::to_dataset`]) is bit-identical, which the
 //! property tests in `tests/property.rs` sweep across shapes and seeds.
+//!
+//! For feature files larger than RAM, the [`stream`] module iterates bundles
+//! chunk-at-a-time: [`StreamingBundle`] keeps features on disk and feeds the
+//! out-of-core trainer/evaluator paths with peak feature memory
+//! `O(chunk_rows x feature_dim)`, bit-identical to the in-memory pipeline.
 
 mod error;
 pub mod format;
 mod loader;
 mod rng;
+pub mod stream;
 mod synthetic;
 
 pub use error::DataError;
 pub use format::{FeatureTable, SplitManifest, ZSB_HEADER_LEN, ZSB_MAGIC, ZSB_VERSION};
 pub use loader::{
-    export_dataset, ClassMap, DatasetBundle, FeatureFormat, FEATURES_CSV, FEATURES_ZSB,
+    export_dataset, ClassMap, DatasetBundle, FeatureFormat, SplitPlan, FEATURES_CSV, FEATURES_ZSB,
     SIGNATURES_CSV, SPLITS_TXT,
 };
 pub use rng::Rng;
+pub use stream::{
+    ChunkReader, CsvChunkReader, FeatureChunk, SplitStream, StreamingBundle, ZsbChunkReader,
+};
 pub use synthetic::{Dataset, SyntheticConfig};

@@ -16,10 +16,17 @@
 //!
 //! [`select_train_evaluate`] chains the two: cross-validate on trainval,
 //! retrain with the winning pair, report GZSL numbers.
+//!
+//! Every entry point has an out-of-core twin ([`evaluate_gzsl_stream`],
+//! [`cross_validate_stream`], [`select_train_evaluate_stream`]) that runs the
+//! identical protocol over a [`StreamingBundle`] — features are read
+//! chunk-at-a-time from disk and the reports are **bit-identical** to the
+//! in-memory ones, which `tests/streaming_equiv.rs` pins.
 
-use crate::data::{Dataset, Rng};
+use crate::data::{DataError, Dataset, FeatureFormat, Rng, StreamingBundle};
 use crate::infer::{
-    harmonic_mean, mean_per_class_accuracy, per_class_accuracy, ScoringEngine, Similarity,
+    harmonic_mean, mean_defined, mean_per_class_accuracy, per_class_accuracy, ClassAccuracyCounter,
+    ScoringEngine, Similarity,
 };
 use crate::model::{EszslConfig, EszslProblem, ProjectionModel, TrainError};
 
@@ -31,6 +38,8 @@ pub enum EvalError {
     InvalidConfig(String),
     /// Training failed inside a fold or the final fit.
     Train(TrainError),
+    /// Reading a streamed bundle failed mid-evaluation.
+    Data(DataError),
 }
 
 impl std::fmt::Display for EvalError {
@@ -38,6 +47,7 @@ impl std::fmt::Display for EvalError {
         match self {
             EvalError::InvalidConfig(msg) => write!(f, "invalid eval config: {msg}"),
             EvalError::Train(e) => write!(f, "training failed during evaluation: {e}"),
+            EvalError::Data(e) => write!(f, "streamed bundle read failed during evaluation: {e}"),
         }
     }
 }
@@ -46,6 +56,7 @@ impl std::error::Error for EvalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EvalError::Train(e) => Some(e),
+            EvalError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -54,6 +65,12 @@ impl std::error::Error for EvalError {
 impl From<TrainError> for EvalError {
     fn from(e: TrainError) -> Self {
         EvalError::Train(e)
+    }
+}
+
+impl From<DataError> for EvalError {
+    fn from(e: DataError) -> Self {
+        EvalError::Data(e)
     }
 }
 
@@ -83,15 +100,6 @@ impl std::fmt::Display for GzslReport {
         writeln!(f, "GZSL unseen accuracy : {:.4}", self.unseen_accuracy)?;
         write!(f, "GZSL harmonic mean   : {:.4}", self.harmonic_mean)
     }
-}
-
-/// Mean of the defined entries, 0 when none are defined.
-fn mean_defined(per_class: &[Option<f64>]) -> f64 {
-    let defined: Vec<f64> = per_class.iter().copied().flatten().collect();
-    if defined.is_empty() {
-        return 0.0;
-    }
-    defined.iter().sum::<f64>() / defined.len() as f64
 }
 
 /// Run the generalized ZSL protocol: score both test splits of `ds` against
@@ -238,23 +246,7 @@ pub fn cross_validate(
     config: &CrossValConfig,
 ) -> Result<CrossValReport, EvalError> {
     let n = x.rows();
-    if config.folds < 2 {
-        return Err(EvalError::InvalidConfig(format!(
-            "need at least 2 folds, got {}",
-            config.folds
-        )));
-    }
-    if n < config.folds {
-        return Err(EvalError::InvalidConfig(format!(
-            "{n} samples cannot be split into {} folds",
-            config.folds
-        )));
-    }
-    if config.gammas.is_empty() || config.lambdas.is_empty() {
-        return Err(EvalError::InvalidConfig(
-            "gamma and lambda grids must be non-empty".into(),
-        ));
-    }
+    validate_cv_shape(config, n)?;
     if x.rows() != labels.len() {
         return Err(EvalError::Train(TrainError::Shape(format!(
             "{} feature rows but {} labels",
@@ -298,7 +290,40 @@ pub fn cross_validate(
         }
     }
 
-    let mut grid = Vec::with_capacity(num_points);
+    Ok(assemble_cross_val_report(config, fold_accuracies))
+}
+
+/// Shared [`cross_validate`] / [`cross_validate_stream`] configuration
+/// checks.
+fn validate_cv_shape(config: &CrossValConfig, n: usize) -> Result<(), EvalError> {
+    if config.folds < 2 {
+        return Err(EvalError::InvalidConfig(format!(
+            "need at least 2 folds, got {}",
+            config.folds
+        )));
+    }
+    if n < config.folds {
+        return Err(EvalError::InvalidConfig(format!(
+            "{n} samples cannot be split into {} folds",
+            config.folds
+        )));
+    }
+    if config.gammas.is_empty() || config.lambdas.is_empty() {
+        return Err(EvalError::InvalidConfig(
+            "gamma and lambda grids must be non-empty".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Assemble the grid + winner from per-point fold accuracies. One code path
+/// for the in-memory and streamed sweeps keeps their reports bit-identical
+/// (same summation order, same tie-break).
+fn assemble_cross_val_report(
+    config: &CrossValConfig,
+    mut fold_accuracies: Vec<Vec<f64>>,
+) -> CrossValReport {
+    let mut grid = Vec::with_capacity(fold_accuracies.len());
     let mut point = 0;
     for &gamma in &config.gammas {
         for &lambda in &config.lambdas {
@@ -330,11 +355,11 @@ pub fn cross_validate(
         })
         .expect("grid is non-empty")
         .clone();
-    Ok(CrossValReport {
+    CrossValReport {
         best,
         grid,
         folds: config.folds,
-    })
+    }
 }
 
 /// The full experiment protocol: cross-validate `(γ, λ)` on the trainval
@@ -354,6 +379,151 @@ pub fn select_train_evaluate(
         .build()
         .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)?;
     let report = evaluate_gzsl(&model, ds, config.similarity);
+    Ok((cv, report))
+}
+
+/// Out-of-core [`evaluate_gzsl`]: run the generalized protocol over a
+/// [`StreamingBundle`], scoring both test splits chunk-at-a-time against the
+/// union signature bank.
+///
+/// Predictions are row-local and accuracy counting is integral, so the
+/// resulting [`GzslReport`] is **bit-identical** to materializing the bundle
+/// with [`crate::data::DatasetBundle::to_dataset`] and calling
+/// [`evaluate_gzsl`] — for every chunk size. Peak feature memory is one
+/// chunk.
+pub fn evaluate_gzsl_stream(
+    model: &ProjectionModel,
+    bundle: &StreamingBundle,
+    similarity: Similarity,
+) -> Result<GzslReport, EvalError> {
+    let num_seen = bundle.num_seen_classes();
+    let num_unseen = bundle.num_unseen_classes();
+    let total = num_seen + num_unseen;
+    let engine = ScoringEngine::new(model.clone(), bundle.union_signatures(), similarity);
+
+    let mut counter = ClassAccuracyCounter::new(total);
+    for chunk in bundle.stream_test_seen()? {
+        let (x, labels) = chunk?;
+        counter.observe(&engine.predict(&x), &labels);
+    }
+    for chunk in bundle.stream_test_unseen()? {
+        let (x, labels) = chunk?;
+        // Unseen truth indexes the union bank after the seen block.
+        let truth: Vec<usize> = labels.iter().map(|&l| l + num_seen).collect();
+        counter.observe(&engine.predict(&x), &truth);
+    }
+
+    let per_class = counter.per_class();
+    let per_class_seen = per_class[..num_seen].to_vec();
+    let per_class_unseen = per_class[num_seen..].to_vec();
+    let seen_accuracy = mean_defined(&per_class_seen);
+    let unseen_accuracy = mean_defined(&per_class_unseen);
+    Ok(GzslReport {
+        seen_accuracy,
+        unseen_accuracy,
+        harmonic_mean: harmonic_mean(seen_accuracy, unseen_accuracy),
+        per_class_seen,
+        per_class_unseen,
+    })
+}
+
+/// Out-of-core [`cross_validate`] over a [`StreamingBundle`]'s trainval
+/// split: the same seeded shuffle, fold geometry, grid sweep, and scoring —
+/// but each fold's Gram matrices are folded from streamed chunks
+/// ([`EszslProblem::from_stream`]) and each fold's validation rows are
+/// streamed once past *all* grid-point engines, so no fold ever exists as a
+/// matrix in memory.
+///
+/// The report is **bit-identical** to running [`cross_validate`] on the
+/// materialized trainval split. Shuffled folds need random row access, which
+/// only the binary format offers: a CSV bundle is a typed
+/// [`EvalError::InvalidConfig`] suggesting re-export as `.zsb`.
+pub fn cross_validate_stream(
+    bundle: &StreamingBundle,
+    config: &CrossValConfig,
+) -> Result<CrossValReport, EvalError> {
+    if bundle.format() == FeatureFormat::Csv {
+        return Err(EvalError::InvalidConfig(
+            "cross-validation over a streamed CSV bundle needs random row access for \
+             shuffled folds; re-export the bundle as features.zsb"
+                .into(),
+        ));
+    }
+    let n = bundle.manifest().trainval.len();
+    validate_cv_shape(config, n)?;
+
+    let signatures = bundle.seen_signatures();
+    let mut order: Vec<usize> = (0..n).collect();
+    Rng::new(config.seed).shuffle(&mut order);
+
+    let num_points = config.gammas.len() * config.lambdas.len();
+    let mut fold_accuracies = vec![Vec::with_capacity(config.folds); num_points];
+
+    for fold in 0..config.folds {
+        // Contiguous slice of the shuffled order; balanced to within one
+        // sample — identical geometry to the in-memory sweep.
+        let lo = fold * n / config.folds;
+        let hi = (fold + 1) * n / config.folds;
+        let val_idx = &order[lo..hi];
+        let train_idx: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+
+        // Gram matrices once per fold, folded from streamed chunks.
+        let train_stream = bundle
+            .stream_trainval_subset(&train_idx)?
+            .map(|r| r.map_err(EvalError::from));
+        let problem = EszslProblem::from_stream(train_stream, &signatures)?;
+
+        // Solve every grid point up front (each model is only d x a), then
+        // stream the fold's validation rows ONCE past all engines.
+        let mut engines = Vec::with_capacity(num_points);
+        let mut counters = Vec::with_capacity(num_points);
+        for &gamma in &config.gammas {
+            for &lambda in &config.lambdas {
+                let model = problem.solve(gamma, lambda)?;
+                engines.push(ScoringEngine::new(
+                    model,
+                    signatures.clone(),
+                    config.similarity,
+                ));
+                counters.push(ClassAccuracyCounter::new(signatures.rows()));
+            }
+        }
+        for chunk in bundle.stream_trainval_subset(val_idx)? {
+            let (x, labels) = chunk?;
+            for (engine, counter) in engines.iter().zip(&mut counters) {
+                counter.observe(&engine.predict(&x), &labels);
+            }
+        }
+        for (point, counter) in counters.iter().enumerate() {
+            fold_accuracies[point].push(counter.mean());
+        }
+    }
+
+    Ok(assemble_cross_val_report(config, fold_accuracies))
+}
+
+/// Out-of-core [`select_train_evaluate`]: cross-validate `(γ, λ)` on the
+/// streamed trainval split, retrain on all of it with the winner (again
+/// streamed), and evaluate GZSL chunk-at-a-time.
+///
+/// Both returned reports are **bit-identical** to the in-memory protocol on
+/// the materialized bundle; peak feature memory across the whole experiment
+/// is `O(chunk_rows x feature_dim)`.
+pub fn select_train_evaluate_stream(
+    bundle: &StreamingBundle,
+    config: &CrossValConfig,
+) -> Result<(CrossValReport, GzslReport), EvalError> {
+    let cv = cross_validate_stream(bundle, config)?;
+    let signatures = bundle.seen_signatures();
+    let train_stream = bundle
+        .stream_trainval()?
+        .map(|r| r.map_err(EvalError::from));
+    let model: ProjectionModel = EszslConfig::new()
+        .gamma(cv.best.gamma)
+        .lambda(cv.best.lambda)
+        .build()
+        .train_stream(train_stream, &signatures)?;
+    let report = evaluate_gzsl_stream(&model, bundle, config.similarity)?;
     Ok((cv, report))
 }
 

@@ -207,6 +207,28 @@ impl ScoringEngine {
         out
     }
 
+    /// Argmax predictions over a *stream* of feature chunks — the out-of-core
+    /// twin of [`ScoringEngine::predict`] for inputs that never exist as one
+    /// matrix (e.g. a [`crate::data::SplitStream`] over an on-disk bundle).
+    ///
+    /// Projection, normalization, and scoring are all row-local, so the
+    /// predictions are **bit-identical** to calling
+    /// [`ScoringEngine::predict`] on the concatenated rows, for every chunk
+    /// size. Only the `Vec<usize>` of predictions grows with the stream;
+    /// peak feature memory stays one chunk.
+    ///
+    /// Chunk errors abort the pass and propagate unchanged.
+    pub fn predict_stream<I, E>(&self, chunks: I) -> Result<Vec<usize>, E>
+    where
+        I: IntoIterator<Item = Result<Matrix, E>>,
+    {
+        let mut out = Vec::new();
+        for chunk in chunks {
+            out.extend(self.predict(&chunk?));
+        }
+        Ok(out)
+    }
+
     /// Best-`k` ranked predictions per sample (`k` clamped to the class
     /// count), computed chunk-by-chunk.
     pub fn predict_topk(&self, x: &Matrix, k: usize) -> Vec<TopK> {
@@ -342,38 +364,89 @@ pub fn overall_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
     hits as f64 / truth.len() as f64
 }
 
+/// Incremental per-class accuracy counter — the one implementation behind
+/// [`per_class_accuracy`] / [`mean_per_class_accuracy`] *and* the streamed
+/// evaluators in [`crate::eval`].
+///
+/// Hits and totals are integers, so observation order (and chunking) cannot
+/// perturb anything; the only float operations are the final `hits / counts`
+/// divisions and the mean over defined classes. Batch and streamed metrics
+/// sharing this type is what makes their bit-identity structural rather than
+/// a documentation promise.
+#[derive(Clone, Debug)]
+pub struct ClassAccuracyCounter {
+    hits: Vec<usize>,
+    counts: Vec<usize>,
+}
+
+impl ClassAccuracyCounter {
+    /// Counter over `num_classes` classes, all zero.
+    pub fn new(num_classes: usize) -> Self {
+        ClassAccuracyCounter {
+            hits: vec![0; num_classes],
+            counts: vec![0; num_classes],
+        }
+    }
+
+    /// Fold one batch of aligned predictions and ground-truth labels.
+    /// Panics on length mismatch or an out-of-range truth label, matching
+    /// [`per_class_accuracy`].
+    pub fn observe(&mut self, predicted: &[usize], truth: &[usize]) {
+        assert_eq!(predicted.len(), truth.len(), "length mismatch");
+        for (&p, &t) in predicted.iter().zip(truth) {
+            assert!(t < self.counts.len(), "truth label {t} out of range");
+            self.counts[t] += 1;
+            if p == t {
+                self.hits[t] += 1;
+            }
+        }
+    }
+
+    /// Per-class accuracies; classes with no observed samples yield `None`.
+    pub fn per_class(&self) -> Vec<Option<f64>> {
+        self.hits
+            .iter()
+            .zip(&self.counts)
+            .map(|(&h, &c)| (c > 0).then(|| h as f64 / c as f64))
+            .collect()
+    }
+
+    /// Mean of the defined per-class accuracies, 0 when none are defined.
+    pub fn mean(&self) -> f64 {
+        mean_defined(&self.per_class())
+    }
+}
+
+/// Mean of the defined entries, 0 when none are defined — the one reduction
+/// behind [`ClassAccuracyCounter::mean`], [`mean_per_class_accuracy`], and
+/// the [`crate::eval::GzslReport`] accuracies, so every report derives its
+/// headline numbers from identical float operations.
+pub(crate) fn mean_defined(per_class: &[Option<f64>]) -> f64 {
+    let defined: Vec<f64> = per_class.iter().copied().flatten().collect();
+    if defined.is_empty() {
+        return 0.0;
+    }
+    defined.iter().sum::<f64>() / defined.len() as f64
+}
+
 /// Per-class accuracy over `num_classes` classes. Classes with no ground-truth
-/// samples yield `None`.
+/// samples yield `None`. One-shot wrapper over [`ClassAccuracyCounter`].
 pub fn per_class_accuracy(
     predicted: &[usize],
     truth: &[usize],
     num_classes: usize,
 ) -> Vec<Option<f64>> {
-    assert_eq!(predicted.len(), truth.len(), "length mismatch");
-    let mut hits = vec![0usize; num_classes];
-    let mut counts = vec![0usize; num_classes];
-    for (&p, &t) in predicted.iter().zip(truth) {
-        assert!(t < num_classes, "truth label {t} out of range");
-        counts[t] += 1;
-        if p == t {
-            hits[t] += 1;
-        }
-    }
-    hits.iter()
-        .zip(&counts)
-        .map(|(&h, &c)| (c > 0).then(|| h as f64 / c as f64))
-        .collect()
+    let mut counter = ClassAccuracyCounter::new(num_classes);
+    counter.observe(predicted, truth);
+    counter.per_class()
 }
 
 /// Mean of the defined per-class accuracies — the standard ZSL metric, which
 /// is robust to class imbalance. Returns 0 when no class has samples.
 pub fn mean_per_class_accuracy(predicted: &[usize], truth: &[usize], num_classes: usize) -> f64 {
-    let per_class = per_class_accuracy(predicted, truth, num_classes);
-    let defined: Vec<f64> = per_class.into_iter().flatten().collect();
-    if defined.is_empty() {
-        return 0.0;
-    }
-    defined.iter().sum::<f64>() / defined.len() as f64
+    let mut counter = ClassAccuracyCounter::new(num_classes);
+    counter.observe(predicted, truth);
+    counter.mean()
 }
 
 /// Harmonic mean `2·s·u / (s + u)` of seen and unseen accuracy — the headline
@@ -596,6 +669,30 @@ mod tests {
             assert_eq!(seen_rows, 10);
             assert_eq!(stitched, full.as_slice(), "chunk_rows={chunk_rows}");
         }
+    }
+
+    #[test]
+    fn predict_stream_matches_predict_and_propagates_errors() {
+        let mut rng = crate::data::Rng::new(44);
+        let w = Matrix::from_vec(4, 3, (0..12).map(|_| rng.normal()).collect());
+        let bank = Matrix::from_vec(5, 3, (0..15).map(|_| rng.normal()).collect());
+        let x = Matrix::from_vec(23, 4, (0..92).map(|_| rng.normal()).collect());
+        let engine = ScoringEngine::new(ProjectionModel::from_weights(w), bank, Similarity::Cosine);
+        let full = engine.predict(&x);
+        for chunk_rows in [1usize, 4, 23, 40] {
+            let chunks: Vec<Result<Matrix, String>> = (0..x.rows())
+                .step_by(chunk_rows)
+                .map(|start| Ok(x.row_block(start..(start + chunk_rows).min(x.rows()))))
+                .collect();
+            assert_eq!(
+                engine.predict_stream(chunks).expect("stream"),
+                full,
+                "chunk_rows={chunk_rows}"
+            );
+        }
+        let failing: Vec<Result<Matrix, String>> =
+            vec![Ok(x.row_block(0..2)), Err("io broke".into())];
+        assert_eq!(engine.predict_stream(failing), Err("io broke".into()));
     }
 
     #[test]

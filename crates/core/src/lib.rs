@@ -26,8 +26,8 @@
 //! | [`linalg`] | dense math: blocked + row-banded parallel matmul, packed `A·Bᵀ` kernel, Cholesky solves for the two SPD systems |
 //! | [`model`] | the closed-form trainer (Eq. `W = (XᵀX+γI)⁻¹XᵀYS(SᵀS+λI)⁻¹`), [`model::EszslProblem`] Gram reuse for grid searches |
 //! | [`infer`] | [`infer::ScoringEngine`] (cached bank, parallel + chunked batch scoring), nearest-signature classification, top-k, ZSL/GZSL metrics |
-//! | [`data`]  | seeded synthetic datasets **plus** on-disk bundles: `.zsb`/CSV feature dumps, signature tables, and `att_splits`-style split manifests loaded by [`data::DatasetBundle`] |
-//! | [`eval`]  | the GZSL protocol ([`eval::GzslReport`]) and seeded k-fold `(γ, λ)` cross-validation ([`eval::cross_validate`]) |
+//! | [`data`]  | seeded synthetic datasets **plus** on-disk bundles: `.zsb`/CSV feature dumps, signature tables, and `att_splits`-style split manifests loaded by [`data::DatasetBundle`] — or streamed chunk-at-a-time by [`data::StreamingBundle`] when features exceed RAM |
+//! | [`eval`]  | the GZSL protocol ([`eval::GzslReport`]) and seeded k-fold `(γ, λ)` cross-validation ([`eval::cross_validate`]), each with a bit-identical out-of-core twin (`*_stream`) |
 //!
 //! ## End-to-end example
 //!
@@ -56,18 +56,21 @@ pub mod linalg;
 pub mod model;
 
 pub use data::{
-    export_dataset, ClassMap, DataError, Dataset, DatasetBundle, FeatureFormat, FeatureTable, Rng,
-    SplitManifest, SyntheticConfig,
+    export_dataset, ClassMap, CsvChunkReader, DataError, Dataset, DatasetBundle, FeatureChunk,
+    FeatureFormat, FeatureTable, Rng, SplitManifest, SplitPlan, SplitStream, StreamingBundle,
+    SyntheticConfig, ZsbChunkReader,
 };
 pub use eval::{
-    cross_validate, evaluate_gzsl, select_train_evaluate, CrossValConfig, CrossValReport,
-    EvalError, GridPoint, GzslReport,
+    cross_validate, cross_validate_stream, evaluate_gzsl, evaluate_gzsl_stream,
+    select_train_evaluate, select_train_evaluate_stream, CrossValConfig, CrossValReport, EvalError,
+    GridPoint, GzslReport,
 };
 pub use infer::{
-    harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy, Classifier,
-    ScoringEngine, Similarity, TopK,
+    harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy,
+    ClassAccuracyCounter, Classifier, ScoringEngine, Similarity, TopK,
 };
 pub use linalg::{default_threads, solve_spd, Cholesky, LinalgError, Matrix};
 pub use model::{
-    EszslConfig, EszslProblem, EszslTrainer, ProjectionModel, RidgeConfig, RidgeTrainer, TrainError,
+    EszslConfig, EszslProblem, EszslTrainer, GramAccumulator, ProjectionModel, RidgeConfig,
+    RidgeTrainer, TrainError,
 };

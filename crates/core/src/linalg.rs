@@ -409,6 +409,39 @@ impl Matrix {
         out
     }
 
+    /// Accumulate `self += aᵀ · b` where `a` is `n x rows(self)` and `b` is
+    /// `n x cols(self)` — the Gram-fold primitive behind out-of-core
+    /// training.
+    ///
+    /// Runs the same blocked kernel as [`Matrix::matmul`], which adds into
+    /// each output element in strictly ascending order over `a`'s rows.
+    /// Folding a tall matrix as consecutive row slabs therefore performs the
+    /// *identical* floating-point addition sequence as
+    /// `a.transpose().matmul(&b)` in one shot: streamed Gram matrices are
+    /// bit-identical to the in-memory product for every chunk size (the
+    /// differential suite in `tests/streaming_equiv.rs` pins this).
+    pub fn add_transposed_product(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            a.rows, b.rows,
+            "add_transposed_product shape mismatch: ({}x{})ᵀ * {}x{}",
+            a.rows, a.cols, b.rows, b.cols
+        );
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.cols, b.cols),
+            "add_transposed_product output must be {}x{}, got {}x{}",
+            a.cols,
+            b.cols,
+            self.rows,
+            self.cols
+        );
+        if a.rows == 0 {
+            return;
+        }
+        let at = a.transpose();
+        gemm_into(&at.data, a.cols, a.rows, &b.data, b.cols, &mut self.data);
+    }
+
     /// Copy of the contiguous row slab `range.start..range.end` — the
     /// building block for chunked streaming over huge sample matrices.
     pub fn row_block(&self, range: std::ops::Range<usize>) -> Matrix {
@@ -702,6 +735,34 @@ mod tests {
                     "parallel matmul_bt diverged at {n}x{k} with {threads} threads"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn add_transposed_product_over_row_slabs_is_bit_identical_to_one_shot() {
+        let mut rng = Rng::new(61);
+        for &(n, d, m) in &[(1usize, 1usize, 1usize), (9, 4, 3), (70, 65, 17)] {
+            let a = random_matrix(&mut rng, n, d);
+            let b = random_matrix(&mut rng, n, m);
+            let one_shot = a.transpose().matmul(&b);
+            for chunk in [1usize, 3, n, n + 5] {
+                let mut acc = Matrix::zeros(d, m);
+                let mut start = 0;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    acc.add_transposed_product(&a.row_block(start..end), &b.row_block(start..end));
+                    start = end;
+                }
+                assert_eq!(
+                    acc.as_slice(),
+                    one_shot.as_slice(),
+                    "fold diverged at n={n} d={d} m={m} chunk={chunk}"
+                );
+            }
+            // Folding an empty slab is a no-op.
+            let mut acc = one_shot.clone();
+            acc.add_transposed_product(&a.row_block(0..0), &b.row_block(0..0));
+            assert_eq!(acc.as_slice(), one_shot.as_slice());
         }
     }
 

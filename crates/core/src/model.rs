@@ -12,6 +12,12 @@
 //! pair of SPD solves — no iterative optimization. A plain ridge regression
 //! onto per-sample attribute targets is provided as a fallback for workloads
 //! where class-level signatures are noisy.
+//!
+//! The closed form only ever touches the data through `XᵀX` and `XᵀYS`, so
+//! training does not need `X` in memory: [`GramAccumulator`] folds row chunks
+//! into those products out-of-core, and [`EszslProblem::from_stream`] /
+//! [`EszslTrainer::train_stream`] build on it — all **bit-identical** to the
+//! in-memory path for every chunk size.
 
 use crate::linalg::{solve_spd, LinalgError, Matrix};
 use std::borrow::Cow;
@@ -149,6 +155,163 @@ impl EszslConfig {
     }
 }
 
+/// Streaming Gram accumulator: folds `(features, labels)` chunks into the
+/// `XᵀX` and `XᵀYS` products the ESZSL closed form needs, so a model can be
+/// trained from a dataset that never exists in memory at once.
+///
+/// Peak memory is `O(d² + d·a + chunk)` — independent of the number of
+/// samples. Because [`crate::linalg::Matrix::add_transposed_product`] adds
+/// into each Gram element in ascending sample order, folding consecutive row
+/// chunks performs the *identical* floating-point operation sequence as
+/// [`EszslProblem::with_normalization`] on the concatenated matrix: the
+/// finished problem (and every model solved from it) is **bit-identical** to
+/// the in-memory path for every chunk size. The differential suite in
+/// `tests/streaming_equiv.rs` and a golden digest in
+/// `tests/golden_loader.rs` pin this.
+///
+/// ```
+/// use zsl_core::data::SyntheticConfig;
+/// use zsl_core::model::{EszslProblem, GramAccumulator};
+///
+/// let ds = SyntheticConfig::new().seed(3).build();
+/// let mut acc = GramAccumulator::new(&ds.seen_signatures);
+/// // Feed the training set in arbitrary-size row chunks...
+/// for start in (0..ds.train_x.rows()).step_by(7) {
+///     let end = (start + 7).min(ds.train_x.rows());
+///     acc.fold(&ds.train_x.row_block(start..end), &ds.train_labels[start..end])
+///         .unwrap();
+/// }
+/// let streamed = acc.finish().unwrap();
+/// let in_memory =
+///     EszslProblem::new(&ds.train_x, &ds.train_labels, &ds.seen_signatures).unwrap();
+/// assert_eq!(streamed.xtx().as_slice(), in_memory.xtx().as_slice());
+/// ```
+#[derive(Clone, Debug)]
+pub struct GramAccumulator {
+    /// Prepared (optionally L2-normalized) seen-class signature bank, held by
+    /// the accumulator so every chunk gathers from the same rows.
+    signatures: Matrix,
+    normalize_features: bool,
+    /// Lazily sized on the first non-empty chunk, so streams whose feature
+    /// dimension is only discovered at read time (CSV) work too.
+    xtx: Option<Matrix>,
+    xtys: Option<Matrix>,
+    rows: usize,
+}
+
+impl GramAccumulator {
+    /// Accumulator over raw (unnormalized) inputs.
+    pub fn new(signatures: &Matrix) -> Self {
+        Self::with_normalization(signatures, false, false)
+    }
+
+    /// Accumulator with optional L2 row normalization of features (applied
+    /// per chunk — row normalization is row-local, so this matches
+    /// normalizing the whole matrix) and/or signatures (applied once, here).
+    pub fn with_normalization(
+        signatures: &Matrix,
+        normalize_features: bool,
+        normalize_signatures: bool,
+    ) -> Self {
+        let mut signatures = signatures.clone();
+        if normalize_signatures {
+            signatures.l2_normalize_rows();
+        }
+        GramAccumulator {
+            signatures,
+            normalize_features,
+            xtx: None,
+            xtys: None,
+            rows: 0,
+        }
+    }
+
+    /// Samples folded so far.
+    pub fn rows_folded(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature dimension, once the first non-empty chunk fixed it.
+    pub fn feature_dim(&self) -> Option<usize> {
+        self.xtx.as_ref().map(Matrix::rows)
+    }
+
+    /// Attribute dimension of the signature bank.
+    pub fn attr_dim(&self) -> usize {
+        self.signatures.cols()
+    }
+
+    /// Fold one chunk of training rows and their labels (indices into the
+    /// signature bank's rows) into the accumulators.
+    ///
+    /// Validation happens *before* any accumulation, so a rejected chunk
+    /// never leaves a partially folded state behind.
+    pub fn fold(&mut self, x: &Matrix, labels: &[usize]) -> Result<(), TrainError> {
+        if x.rows() != labels.len() {
+            return Err(TrainError::Shape(format!(
+                "{} feature rows but {} labels",
+                x.rows(),
+                labels.len()
+            )));
+        }
+        let z = self.signatures.rows();
+        if let Some(&bad) = labels.iter().find(|&&l| l >= z) {
+            return Err(TrainError::LabelOutOfRange {
+                label: bad,
+                num_classes: z,
+            });
+        }
+        if let Some(xtx) = &self.xtx {
+            if x.cols() != xtx.rows() {
+                return Err(TrainError::Shape(format!(
+                    "chunk has {} feature columns but earlier chunks had {}",
+                    x.cols(),
+                    xtx.rows()
+                )));
+            }
+        }
+        if x.rows() == 0 {
+            return Ok(());
+        }
+        let (xtx, xtys) = match (&mut self.xtx, &mut self.xtys) {
+            (Some(xtx), Some(xtys)) => (xtx, xtys),
+            _ => {
+                self.xtx = Some(Matrix::zeros(x.cols(), x.cols()));
+                self.xtys = Some(Matrix::zeros(x.cols(), self.signatures.cols()));
+                (
+                    self.xtx.as_mut().expect("just set"),
+                    self.xtys.as_mut().expect("just set"),
+                )
+            }
+        };
+
+        let x = if self.normalize_features {
+            let mut x = x.clone();
+            x.l2_normalize_rows();
+            Cow::Owned(x)
+        } else {
+            Cow::Borrowed(x)
+        };
+        let ys = gather_signatures(labels, &self.signatures);
+        xtx.add_transposed_product(&x, &x);
+        xtys.add_transposed_product(&x, &ys);
+        self.rows += x.rows();
+        Ok(())
+    }
+
+    /// Finish the fold: compute `SᵀS` and hand back a regular
+    /// [`EszslProblem`], ready to [`EszslProblem::solve`] for any `(γ, λ)`.
+    /// An accumulator that never saw a sample is an error, matching the
+    /// in-memory trainer's empty-training-set rejection.
+    pub fn finish(self) -> Result<EszslProblem, TrainError> {
+        let (Some(xtx), Some(xtys)) = (self.xtx, self.xtys) else {
+            return Err(TrainError::Shape("empty training set".into()));
+        };
+        let sts = self.signatures.transpose().matmul(&self.signatures);
+        Ok(EszslProblem { xtx, xtys, sts })
+    }
+}
+
 /// Closed-form ESZSL-style trainer. See the module docs for the formulation.
 #[derive(Clone, Debug, Default)]
 pub struct EszslTrainer {
@@ -184,6 +347,30 @@ impl EszslTrainer {
             self.config.normalize_signatures,
         )?
         .solve(self.config.gamma, self.config.lambda)
+    }
+
+    /// Train from a stream of `(features, labels)` chunks without ever
+    /// holding the full feature matrix — the out-of-core twin of
+    /// [`EszslTrainer::train`], **bit-identical** to it when the chunks
+    /// concatenate (in order) to the same matrix, for every chunk size.
+    ///
+    /// The error type is the stream's: chunk errors (e.g.
+    /// [`crate::data::DataError`] from a [`crate::data::SplitStream`])
+    /// propagate as-is, and [`TrainError`]s convert through `E: From`.
+    pub fn train_stream<I, E>(&self, chunks: I, signatures: &Matrix) -> Result<ProjectionModel, E>
+    where
+        I: IntoIterator<Item = Result<(Matrix, Vec<usize>), E>>,
+        E: From<TrainError>,
+    {
+        validate_regularizer("gamma", self.config.gamma)?;
+        validate_regularizer("lambda", self.config.lambda)?;
+        let problem = EszslProblem::from_stream_with_normalization(
+            chunks,
+            signatures,
+            self.config.normalize_features,
+            self.config.normalize_signatures,
+        )?;
+        Ok(problem.solve(self.config.gamma, self.config.lambda)?)
     }
 }
 
@@ -246,9 +433,60 @@ impl EszslProblem {
         Ok(EszslProblem { xtx, xtys, sts })
     }
 
+    /// Build the problem by folding a stream of `(features, labels)` chunks
+    /// through a [`GramAccumulator`] — the full feature matrix never exists
+    /// in memory, and the result is bit-identical to [`EszslProblem::new`] on
+    /// the concatenated rows for every chunk size.
+    pub fn from_stream<I, E>(chunks: I, signatures: &Matrix) -> Result<Self, E>
+    where
+        I: IntoIterator<Item = Result<(Matrix, Vec<usize>), E>>,
+        E: From<TrainError>,
+    {
+        Self::from_stream_with_normalization(chunks, signatures, false, false)
+    }
+
+    /// [`EszslProblem::from_stream`] with the [`EszslConfig`] normalization
+    /// toggles (matching [`EszslProblem::with_normalization`]).
+    pub fn from_stream_with_normalization<I, E>(
+        chunks: I,
+        signatures: &Matrix,
+        normalize_features: bool,
+        normalize_signatures: bool,
+    ) -> Result<Self, E>
+    where
+        I: IntoIterator<Item = Result<(Matrix, Vec<usize>), E>>,
+        E: From<TrainError>,
+    {
+        let mut acc = GramAccumulator::with_normalization(
+            signatures,
+            normalize_features,
+            normalize_signatures,
+        );
+        for chunk in chunks {
+            let (x, labels) = chunk?;
+            acc.fold(&x, &labels)?;
+        }
+        Ok(acc.finish()?)
+    }
+
     /// Feature dimension `d` of the problem.
     pub fn feature_dim(&self) -> usize {
         self.xtx.rows()
+    }
+
+    /// The accumulated `Xᵀ X : d x d` (unshifted).
+    pub fn xtx(&self) -> &Matrix {
+        &self.xtx
+    }
+
+    /// The accumulated `Xᵀ Y S : d x a`.
+    pub fn xtys(&self) -> &Matrix {
+        &self.xtys
+    }
+
+    /// The signature Gram `Sᵀ S : a x a` (unshifted).
+    pub fn sts(&self) -> &Matrix {
+        &self.sts
     }
 
     /// Attribute dimension `a` of the problem.
@@ -543,6 +781,127 @@ mod tests {
         assert!(matches!(
             problem.solve(0.0, 1.0),
             Err(TrainError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn gram_accumulator_matches_in_memory_problem_bit_for_bit() {
+        let ds = SyntheticConfig::new().seed(42).build();
+        let n = ds.train_x.rows();
+        for (nf, ns) in [(false, false), (true, false), (false, true), (true, true)] {
+            let reference = EszslProblem::with_normalization(
+                &ds.train_x,
+                &ds.train_labels,
+                &ds.seen_signatures,
+                nf,
+                ns,
+            )
+            .expect("in-memory problem");
+            for chunk in [1usize, 5, n, n + 9] {
+                let mut acc = GramAccumulator::with_normalization(&ds.seen_signatures, nf, ns);
+                let mut start = 0;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    acc.fold(
+                        &ds.train_x.row_block(start..end),
+                        &ds.train_labels[start..end],
+                    )
+                    .expect("fold");
+                    start = end;
+                }
+                assert_eq!(acc.rows_folded(), n);
+                assert_eq!(acc.feature_dim(), Some(ds.train_x.cols()));
+                let streamed = acc.finish().expect("finish");
+                let label = format!("chunk={chunk} nf={nf} ns={ns}");
+                assert_eq!(
+                    streamed.xtx().as_slice(),
+                    reference.xtx().as_slice(),
+                    "{label}"
+                );
+                assert_eq!(
+                    streamed.xtys().as_slice(),
+                    reference.xtys().as_slice(),
+                    "{label}"
+                );
+                assert_eq!(
+                    streamed.sts().as_slice(),
+                    reference.sts().as_slice(),
+                    "{label}"
+                );
+                // Solved weights are therefore bit-identical too.
+                let w_stream = streamed.solve(0.5, 2.0).expect("solve");
+                let w_mem = reference.solve(0.5, 2.0).expect("solve");
+                assert_eq!(
+                    w_stream.weights().as_slice(),
+                    w_mem.weights().as_slice(),
+                    "{label}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gram_accumulator_validates_chunks_and_rejects_empty_finish() {
+        let ds = SyntheticConfig::new().classes(5, 1).build();
+        let mut acc = GramAccumulator::new(&ds.seen_signatures);
+        // Empty accumulator cannot finish — same semantics as training on an
+        // empty matrix.
+        assert!(matches!(
+            GramAccumulator::new(&ds.seen_signatures).finish(),
+            Err(TrainError::Shape(_))
+        ));
+        // Label/length mismatches are rejected *before* any folding.
+        assert!(matches!(
+            acc.fold(&ds.train_x, &ds.train_labels[..3]),
+            Err(TrainError::Shape(_))
+        ));
+        let bad_labels = vec![99; ds.train_x.rows()];
+        assert!(matches!(
+            acc.fold(&ds.train_x, &bad_labels),
+            Err(TrainError::LabelOutOfRange { label: 99, .. })
+        ));
+        assert_eq!(acc.rows_folded(), 0, "failed folds must not accumulate");
+        // A width change mid-stream is a shape error.
+        acc.fold(&ds.train_x, &ds.train_labels).expect("fold");
+        let narrow = Matrix::zeros(2, ds.train_x.cols() + 1);
+        assert!(matches!(
+            acc.fold(&narrow, &[0, 0]),
+            Err(TrainError::Shape(_))
+        ));
+        // Zero-row chunks are a validated no-op.
+        acc.fold(&Matrix::zeros(0, ds.train_x.cols()), &[])
+            .expect("empty fold");
+        assert_eq!(acc.rows_folded(), ds.train_x.rows());
+    }
+
+    #[test]
+    fn train_stream_matches_train_and_propagates_stream_errors() {
+        let ds = SyntheticConfig::new().seed(13).build();
+        let trainer = EszslConfig::new().gamma(0.3).lambda(3.0).build();
+        let one_shot = trainer
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train");
+        let n = ds.train_x.rows();
+        let chunks: Vec<Result<(Matrix, Vec<usize>), TrainError>> = (0..n)
+            .step_by(4)
+            .map(|start| {
+                let end = (start + 4).min(n);
+                Ok((
+                    ds.train_x.row_block(start..end),
+                    ds.train_labels[start..end].to_vec(),
+                ))
+            })
+            .collect();
+        let streamed: ProjectionModel = trainer
+            .train_stream(chunks, &ds.seen_signatures)
+            .expect("train_stream");
+        assert_eq!(streamed.weights().as_slice(), one_shot.weights().as_slice());
+        // A stream error aborts training and surfaces unchanged.
+        let failing: Vec<Result<(Matrix, Vec<usize>), TrainError>> =
+            vec![Err(TrainError::Shape("disk fell over".into()))];
+        assert!(matches!(
+            trainer.train_stream(failing, &ds.seen_signatures),
+            Err(TrainError::Shape(msg)) if msg == "disk fell over"
         ));
     }
 

@@ -1,0 +1,44 @@
+//! Shared helpers for the integration-test binaries.
+//!
+//! The FNV-1a digests here are the single definition both the golden-fixture
+//! constants (`golden_loader.rs`) and the property sweeps (`property.rs`)
+//! pin against — one implementation, so the two suites can never silently
+//! start hashing different quantities.
+
+use zsl_core::linalg::Matrix;
+
+/// FNV-1a offset basis.
+pub fn fnv_seed() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+/// Fold one `u64` into an FNV-1a hash, byte by byte (little-endian).
+pub fn fnv_u64(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a over the exact little-endian bit patterns of a matrix
+/// (shape-prefixed) — one u64 freezes every parsed float.
+pub fn digest_matrix(m: &Matrix) -> u64 {
+    let mut hash = fnv_seed();
+    hash = fnv_u64(hash, m.rows() as u64);
+    hash = fnv_u64(hash, m.cols() as u64);
+    for &v in m.as_slice() {
+        hash = fnv_u64(hash, v.to_bits());
+    }
+    hash
+}
+
+/// FNV-1a over a dense label list.
+#[allow(dead_code)] // not every test binary digests labels
+pub fn digest_labels(labels: &[usize]) -> u64 {
+    let mut hash = fnv_seed();
+    for &l in labels {
+        hash = fnv_u64(hash, l as u64);
+    }
+    hash
+}

@@ -12,12 +12,16 @@
 //! `cargo test -p zsl-core --test golden_loader -- --ignored regenerate`
 //! then copy the printed constants into this file and commit the new fixture.
 
+mod common;
+
+use common::{digest_labels, digest_matrix};
 use std::path::PathBuf;
-use zsl_core::data::{export_dataset, DatasetBundle, FeatureFormat, SyntheticConfig};
-use zsl_core::eval::evaluate_gzsl;
+use zsl_core::data::{
+    export_dataset, DatasetBundle, FeatureFormat, StreamingBundle, SyntheticConfig,
+};
+use zsl_core::eval::{evaluate_gzsl, evaluate_gzsl_stream};
 use zsl_core::infer::Similarity;
-use zsl_core::linalg::Matrix;
-use zsl_core::model::EszslConfig;
+use zsl_core::model::{EszslConfig, EszslProblem, GramAccumulator};
 use zsl_core::Dataset;
 
 fn fixture_dir() -> PathBuf {
@@ -36,38 +40,6 @@ fn fixture_config() -> SyntheticConfig {
         .samples(3, 2)
         .noise(0.1)
         .seed(7)
-}
-
-/// FNV-1a over the exact little-endian bit patterns of a matrix — one u64
-/// freezes every parsed float.
-fn digest_matrix(m: &Matrix) -> u64 {
-    let mut hash = fnv_seed();
-    hash = fnv_u64(hash, m.rows() as u64);
-    hash = fnv_u64(hash, m.cols() as u64);
-    for &v in m.as_slice() {
-        hash = fnv_u64(hash, v.to_bits());
-    }
-    hash
-}
-
-fn digest_labels(labels: &[usize]) -> u64 {
-    let mut hash = fnv_seed();
-    for &l in labels {
-        hash = fnv_u64(hash, l as u64);
-    }
-    hash
-}
-
-fn fnv_seed() -> u64 {
-    0xcbf2_9ce4_8422_2325
-}
-
-fn fnv_u64(mut hash: u64, value: u64) -> u64 {
-    for byte in value.to_le_bytes() {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 fn digest_dataset(ds: &Dataset) -> [u64; 8] {
@@ -113,6 +85,16 @@ const GOLDEN_REPORT_BITS: [u64; 3] = [
     0x3fd0_0000_0000_0000,
     0x3fe0_0000_0000_0000,
     0x3fd5_5555_5555_5555,
+];
+
+/// Digests of the *streamed* Gram accumulators over the fixture's trainval
+/// split: `XᵀX`, `XᵀYS`, `SᵀS`. Because the streamed fold is bit-identical
+/// to the in-memory product at every chunk size, one set of constants pins
+/// both paths at once.
+const GOLDEN_STREAM_GRAM: [u64; 3] = [
+    0xb7c5_b816_6f4e_159a,
+    0x32fd_c02f_f247_598d,
+    0x2116_bd71_681f_8716,
 ];
 
 #[test]
@@ -177,6 +159,58 @@ fn fixture_produces_the_frozen_gzsl_report() {
     assert!(report.per_class_seen.iter().all(|a| a.is_some()));
 }
 
+/// Streamed-accumulator digests over the fixture, at a chunk size that
+/// splits the 12-row trainval split unevenly (the regen path uses the same).
+fn streamed_gram_digests(dir: &std::path::Path, format: FeatureFormat) -> [u64; 3] {
+    let bundle = StreamingBundle::open_with_format(dir, format, 5).expect("open stream");
+    let mut acc = GramAccumulator::new(&bundle.seen_signatures());
+    for chunk in bundle.stream_trainval().expect("trainval stream") {
+        let (x, labels) = chunk.expect("chunk");
+        acc.fold(&x, &labels).expect("fold");
+    }
+    let problem = acc.finish().expect("finish");
+    [
+        digest_matrix(problem.xtx()),
+        digest_matrix(problem.xtys()),
+        digest_matrix(problem.sts()),
+    ]
+}
+
+#[test]
+fn fixture_streamed_accumulators_match_frozen_digests_and_in_memory_path() {
+    let dir = fixture_dir();
+    // Both formats must stream to the same accumulator bits.
+    let got_zsb = streamed_gram_digests(&dir, FeatureFormat::Zsb);
+    let got_csv = streamed_gram_digests(&dir, FeatureFormat::Csv);
+    assert_eq!(got_zsb, got_csv, "zsb and csv streams drifted apart");
+    assert_eq!(
+        got_zsb, GOLDEN_STREAM_GRAM,
+        "streamed Gram accumulators drifted: got {got_zsb:#018x?}, frozen {GOLDEN_STREAM_GRAM:#018x?}"
+    );
+
+    // And the frozen bits are exactly what the in-memory problem produces.
+    let ds = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let problem =
+        EszslProblem::new(&ds.train_x, &ds.train_labels, &ds.seen_signatures).expect("problem");
+    assert_eq!(digest_matrix(problem.xtx()), GOLDEN_STREAM_GRAM[0]);
+    assert_eq!(digest_matrix(problem.xtys()), GOLDEN_STREAM_GRAM[1]);
+    assert_eq!(digest_matrix(problem.sts()), GOLDEN_STREAM_GRAM[2]);
+
+    // The streamed GZSL report reproduces the frozen report bits too.
+    let model = problem.solve(1.0, 1.0).expect("solve");
+    let bundle = StreamingBundle::open(&dir, 5).expect("open");
+    let report = evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("stream");
+    let got = [
+        report.seen_accuracy.to_bits(),
+        report.unseen_accuracy.to_bits(),
+        report.harmonic_mean.to_bits(),
+    ];
+    assert_eq!(got, GOLDEN_REPORT_BITS, "streamed GzslReport drifted");
+}
+
 /// Regenerate the committed fixture and print the frozen constants.
 /// Intentional format changes only — run, copy the output into the constants
 /// above, and commit the new files.
@@ -222,6 +256,11 @@ fn regenerate_fixture() {
         report.unseen_accuracy.to_bits(),
         report.harmonic_mean.to_bits(),
     ] {
+        println!("    {d:#018x},");
+    }
+    println!("];");
+    println!("const GOLDEN_STREAM_GRAM: [u64; 3] = [");
+    for d in streamed_gram_digests(&dir, FeatureFormat::Zsb) {
         println!("    {d:#018x},");
     }
     println!("];");

@@ -5,8 +5,9 @@
 
 use std::path::PathBuf;
 use zsl_core::data::{
-    export_dataset, DataError, DatasetBundle, FeatureFormat, SplitManifest, SyntheticConfig,
-    FEATURES_CSV, FEATURES_ZSB, SIGNATURES_CSV, SPLITS_TXT,
+    export_dataset, CsvChunkReader, DataError, DatasetBundle, FeatureFormat, SplitManifest,
+    StreamingBundle, SyntheticConfig, ZsbChunkReader, FEATURES_CSV, FEATURES_ZSB, SIGNATURES_CSV,
+    SPLITS_TXT,
 };
 
 /// Fresh bundle directory holding a small valid synthetic export.
@@ -132,6 +133,138 @@ fn overflowing_header_dims_are_a_header_error_not_a_panic() {
         }
         other => panic!("expected Header overflow error, got {other:?}"),
     }
+    cleanup(&dir);
+}
+
+#[test]
+fn chunk_readers_reject_zero_chunk_rows_with_a_typed_error() {
+    let dir = valid_bundle("zero_chunk", FeatureFormat::Zsb);
+    export_dataset(
+        &SyntheticConfig::new()
+            .classes(4, 2)
+            .dims(3, 5)
+            .samples(3, 2)
+            .seed(17)
+            .build(),
+        &dir,
+        FeatureFormat::Csv,
+    )
+    .expect("csv twin");
+    // A zero-row chunk could never make progress: every streaming entry
+    // point rejects it up front instead of looping forever.
+    match ZsbChunkReader::open(&dir.join(FEATURES_ZSB), 0) {
+        Err(DataError::Shape { message }) => assert!(message.contains("chunk_rows"), "{message}"),
+        other => panic!("expected Shape error, got {other:?}"),
+    }
+    match CsvChunkReader::open(&dir.join(FEATURES_CSV), 0) {
+        Err(DataError::Shape { message }) => assert!(message.contains("chunk_rows"), "{message}"),
+        other => panic!("expected Shape error, got {other:?}"),
+    }
+    match StreamingBundle::open(&dir, 0) {
+        Err(DataError::Shape { message }) => assert!(message.contains("chunk_rows"), "{message}"),
+        other => panic!("expected Shape error, got {other:?}"),
+    }
+    match ZsbChunkReader::open_indexed(&dir.join(FEATURES_ZSB), &[0, 1], 0) {
+        Err(DataError::Shape { message }) => assert!(message.contains("chunk_rows"), "{message}"),
+        other => panic!("expected Shape error, got {other:?}"),
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn chunk_reader_rejects_header_dims_that_overflow_before_allocating() {
+    // Same regression class as the in-memory loader's overflow check, now on
+    // the streaming entry point: a crafted header must produce a typed
+    // Header error, never an abort-on-allocation. Two shapes:
+    // n·d·8 wrapping u64, and n·d exceeding what fits in memory arithmetic.
+    let dir = valid_bundle("stream_overflow", FeatureFormat::Zsb);
+    let path = dir.join(FEATURES_ZSB);
+    let pristine = std::fs::read(&path).unwrap()[..32].to_vec();
+    for (n, d) in [(1u64 << 62, 2u32), (1u64 << 61, 8), (u64::MAX / 9, 9)] {
+        let mut bytes = pristine.clone();
+        bytes[8..16].copy_from_slice(&n.to_le_bytes());
+        bytes[16..20].copy_from_slice(&d.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match ZsbChunkReader::open(&path, 4) {
+            Err(DataError::Header { message, .. }) => {
+                assert!(message.contains("overflow"), "n={n} d={d}: {message}")
+            }
+            other => panic!("n={n} d={d}: expected Header overflow error, got {other:?}"),
+        }
+        // The streaming bundle surfaces the same rejection.
+        assert!(matches!(
+            StreamingBundle::open(&dir, 4),
+            Err(DataError::Header { .. })
+        ));
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn indexed_chunk_reader_rejects_out_of_range_rows() {
+    let dir = valid_bundle("indexed_range", FeatureFormat::Zsb);
+    let path = dir.join(FEATURES_ZSB);
+    match ZsbChunkReader::open_indexed(&path, &[0, 1_000_000], 4) {
+        Err(DataError::Split { message }) => {
+            assert!(message.contains("1000000"), "{message}")
+        }
+        other => panic!("expected Split error, got {other:?}"),
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn streaming_bundle_mirrors_loader_validation() {
+    // The streaming open must reject the same cross-file inconsistencies the
+    // in-memory loader does — spot-check one of each family.
+    let dir = valid_bundle("stream_validation", FeatureFormat::Zsb);
+
+    // Unknown feature label (relabel sample 0 in the binary label block;
+    // bump the header class_count so the header stays self-consistent and
+    // the cross-file check is the one that fires).
+    let path = dir.join(FEATURES_ZSB);
+    let pristine_features = std::fs::read(&path).unwrap();
+    let mut bytes = pristine_features.clone();
+    bytes[32..36].copy_from_slice(&777u32.to_le_bytes());
+    bytes[20..24].copy_from_slice(&7u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        StreamingBundle::open(&dir, 4),
+        Err(DataError::UnknownClass { label: 777, .. })
+    ));
+    std::fs::write(&path, &pristine_features).unwrap();
+
+    // Out-of-range split index.
+    let manifest_path = dir.join(SPLITS_TXT);
+    let pristine = SplitManifest::read(&manifest_path).unwrap();
+    let mut bad = pristine.clone();
+    bad.trainval.push(1_000_000);
+    bad.write(&manifest_path).unwrap();
+    assert!(matches!(
+        StreamingBundle::open(&dir, 4),
+        Err(DataError::Split { .. })
+    ));
+
+    // Declared unseen class that the signature table lacks.
+    let mut bad = pristine.clone();
+    bad.unseen_classes.as_mut().unwrap().push(424_242);
+    bad.write(&manifest_path).unwrap();
+    assert!(matches!(
+        StreamingBundle::open(&dir, 4),
+        Err(DataError::UnknownClass { label: 424_242, .. })
+    ));
+
+    // Seen/unseen overlap — caught at open (the in-memory path defers this
+    // to to_dataset; streaming validates the whole plan up front).
+    let mut bad = pristine.clone();
+    let moved = bad.trainval.pop().unwrap();
+    bad.test_unseen.push(moved);
+    bad.unseen_classes = None;
+    bad.write(&manifest_path).unwrap();
+    assert!(matches!(
+        StreamingBundle::open(&dir, 4),
+        Err(DataError::Split { .. })
+    ));
     cleanup(&dir);
 }
 

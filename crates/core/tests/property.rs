@@ -1,17 +1,27 @@
 //! Property-based test layer: seeded randomized sweeps with no external
 //! dependencies (all randomness flows through the crate's own `Rng`).
 //!
-//! Three families, matching the loader/solver invariants the subsystem
-//! promises:
+//! Five families, matching the loader/solver/streaming invariants the
+//! subsystem promises:
 //! 1. bundle round-trips (write → read → bit-identical matrices) across
 //!    random shapes, seeds, and both on-disk formats;
 //! 2. raw-label ↔ dense-id remapping is bijective for arbitrary label sets;
-//! 3. Cholesky solve residuals stay below 1e-8 across 50 random SPD systems.
+//! 3. Cholesky solve residuals stay below 1e-8 across 50 random SPD systems;
+//! 4. random chunk boundaries never change the FNV digests of the streamed
+//!    `XᵀX` / `XᵀY` Gram accumulators;
+//! 5. a `.zsb` file truncated mid-chunk is a typed `DataError::Truncated`
+//!    and never yields a partial accumulator.
 
+mod common;
+
+use common::digest_matrix;
 use std::path::PathBuf;
-use zsl_core::data::{export_dataset, ClassMap, DatasetBundle, FeatureFormat, SyntheticConfig};
+use zsl_core::data::{
+    export_dataset, ClassMap, DatasetBundle, FeatureFormat, SyntheticConfig, ZsbChunkReader,
+};
 use zsl_core::linalg::Matrix;
-use zsl_core::Rng;
+use zsl_core::model::{EszslProblem, GramAccumulator};
+use zsl_core::{DataError, Rng};
 
 /// Unique scratch directory per test so parallel test binaries never collide.
 fn temp_dir(tag: &str) -> PathBuf {
@@ -101,6 +111,123 @@ fn class_label_remap_is_bijective_for_arbitrary_label_sets() {
         dense_ids.sort_unstable();
         assert_eq!(dense_ids, (0..n).collect::<Vec<_>>(), "case {case}");
     }
+}
+
+#[test]
+fn random_chunk_boundaries_never_change_gram_digests() {
+    let mut sweep = Rng::new(0x5712_EA11);
+    for case in 0..10 {
+        let n = 2 + (sweep.next_u64() % 40) as usize;
+        let d = 1 + (sweep.next_u64() % 9) as usize;
+        let a = 1 + (sweep.next_u64() % 6) as usize;
+        let z = 1 + (sweep.next_u64() % 8) as usize;
+        let x = Matrix::from_vec(n, d, (0..n * d).map(|_| sweep.normal()).collect());
+        let labels: Vec<usize> = (0..n)
+            .map(|_| (sweep.next_u64() % z as u64) as usize)
+            .collect();
+        let signatures = Matrix::from_vec(z, a, (0..z * a).map(|_| sweep.normal()).collect());
+
+        let reference = EszslProblem::new(&x, &labels, &signatures).expect("problem");
+        let (ref_xtx, ref_xtys) = (
+            digest_matrix(reference.xtx()),
+            digest_matrix(reference.xtys()),
+        );
+
+        for trial in 0..6 {
+            // Random sorted cut points partition 0..n into chunks of wildly
+            // uneven sizes (empty chunks included via duplicate cuts).
+            let mut cuts: Vec<usize> = (0..(sweep.next_u64() % 6))
+                .map(|_| (sweep.next_u64() % (n as u64 + 1)) as usize)
+                .collect();
+            cuts.push(0);
+            cuts.push(n);
+            cuts.sort_unstable();
+            let mut acc = GramAccumulator::new(&signatures);
+            for bounds in cuts.windows(2) {
+                let (lo, hi) = (bounds[0], bounds[1]);
+                acc.fold(&x.row_block(lo..hi), &labels[lo..hi])
+                    .expect("fold");
+            }
+            let streamed = acc.finish().expect("finish");
+            assert_eq!(
+                digest_matrix(streamed.xtx()),
+                ref_xtx,
+                "case {case} trial {trial} cuts {cuts:?}: XᵀX digest drifted"
+            );
+            assert_eq!(
+                digest_matrix(streamed.xtys()),
+                ref_xtys,
+                "case {case} trial {trial} cuts {cuts:?}: XᵀYS digest drifted"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_mid_chunk_zsb_is_truncation_error_never_partial_accumulator() {
+    let mut sweep = Rng::new(0x7210_CA7E);
+    // Sized so the feature payload (8·72·32 = 18 KiB) comfortably exceeds the
+    // reader's internal buffer — the post-open shrink below must hit the real
+    // file, not a fully buffered copy.
+    let ds = SyntheticConfig::new()
+        .classes(4, 2)
+        .dims(3, 32)
+        .samples(12, 4)
+        .seed(99)
+        .build();
+    let dir = temp_dir("truncated_stream");
+    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
+    let path = dir.join("features.zsb");
+    let pristine = std::fs::read(&path).expect("read");
+
+    for trial in 0..12 {
+        // Cut anywhere strictly inside the payload (past the header), so the
+        // loss lands mid-label-block or mid-feature-chunk at random.
+        let keep = 32 + (sweep.next_u64() % (pristine.len() as u64 - 32)) as usize;
+        std::fs::write(&path, &pristine[..keep]).expect("truncate");
+        match ZsbChunkReader::open(&path, 4) {
+            Err(DataError::Truncated {
+                expected, actual, ..
+            }) => {
+                assert_eq!(actual, keep as u64, "trial {trial}");
+                assert_eq!(expected, pristine.len() as u64, "trial {trial}");
+            }
+            other => panic!("trial {trial} keep={keep}: expected Truncated, got {other:?}"),
+        }
+    }
+
+    // Race case: the file shrinks AFTER a reader validated its length at
+    // open. The in-flight chunk must surface as Truncated — and a fold loop
+    // driven by the stream stops cold, leaving no partially folded chunk.
+    std::fs::write(&path, &pristine).expect("restore");
+    let mut reader = ZsbChunkReader::open(&path, 3).expect("open");
+    std::fs::write(&path, &pristine[..pristine.len() - 24]).expect("shrink");
+    // Raw labels in a synthetic export are dense ids over the union bank, so
+    // the full signature table makes every label valid for folding.
+    let mut acc = GramAccumulator::new(&ds.all_signatures());
+    let mut folded_chunks = 0;
+    let mut saw_truncation = false;
+    for chunk in &mut reader {
+        match chunk {
+            Ok(c) => {
+                let labels: Vec<usize> = c.labels.iter().map(|&l| l as usize).collect();
+                acc.fold(&c.features, &labels).expect("fold");
+                folded_chunks += 1;
+            }
+            Err(DataError::Truncated { .. }) => {
+                saw_truncation = true;
+                break;
+            }
+            Err(other) => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+    assert!(saw_truncation, "shrunken file must surface as Truncated");
+    // Whatever was folded before the cut is whole chunks only (chunk_rows =
+    // 3 divides the 72-row table); the failing chunk contributed nothing.
+    assert_eq!(acc.rows_folded(), folded_chunks * 3);
+    // And the stream is fused after the error.
+    assert!(reader.next().is_none());
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

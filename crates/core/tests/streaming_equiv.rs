@@ -1,0 +1,458 @@
+//! Differential test layer for the out-of-core streaming pipeline.
+//!
+//! The hard invariant this suite locks down: **streamed results are
+//! bit-identical to the in-memory pipeline at every chunk size** — Gram
+//! accumulators, trained weights, predictions, GZSL reports, and the full
+//! CV → fit → evaluate protocol, on both on-disk formats, over synthetic
+//! bundles and the committed `tests/fixtures/tiny_bundle/`.
+//!
+//! The streamed side of every comparison goes through [`StreamingBundle`]
+//! only — no full feature `Matrix` is ever constructed on that side, and
+//! every chunk is asserted to hold at most `chunk_rows` rows, which is what
+//! makes the `O(chunk_rows x feature_dim)` peak-feature-memory claim
+//! checkable.
+
+use std::path::PathBuf;
+use zsl_core::data::{
+    export_dataset, DatasetBundle, FeatureFormat, SplitManifest, StreamingBundle, SyntheticConfig,
+    SPLITS_TXT,
+};
+use zsl_core::eval::{
+    cross_validate, evaluate_gzsl, evaluate_gzsl_stream, select_train_evaluate,
+    select_train_evaluate_stream, CrossValConfig, EvalError,
+};
+use zsl_core::infer::Similarity;
+use zsl_core::model::{EszslConfig, EszslProblem, GramAccumulator};
+use zsl_core::{Dataset, Rng};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("zsl_stream_equiv_{}_{tag}", std::process::id()))
+}
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("tiny_bundle")
+}
+
+/// The chunk sizes the ISSUE pins: degenerate (1), coprime-ish small (3, 7),
+/// exactly one chunk (n), and larger than the data (n + 13).
+fn chunk_sizes(n_rows: usize) -> [usize; 5] {
+    [1, 3, 7, n_rows, n_rows + 13]
+}
+
+/// A synthetic bundle big enough to straddle several chunk boundaries but
+/// fast enough for the tier-1 suite.
+fn synthetic_dataset() -> Dataset {
+    SyntheticConfig::new()
+        .classes(6, 2)
+        .dims(4, 5)
+        .samples(4, 3)
+        .noise(0.05)
+        .seed(20_26)
+        .build()
+}
+
+/// Stream every trainval chunk of `bundle` into a fresh accumulator,
+/// asserting the memory bound (no chunk exceeds `chunk_rows` rows) along the
+/// way.
+fn streamed_problem(bundle: &StreamingBundle) -> EszslProblem {
+    let mut acc = GramAccumulator::new(&bundle.seen_signatures());
+    for chunk in bundle.stream_trainval().expect("trainval stream") {
+        let (x, labels) = chunk.expect("chunk");
+        assert!(
+            x.rows() <= bundle.chunk_rows(),
+            "chunk of {} rows exceeds chunk_rows={}",
+            x.rows(),
+            bundle.chunk_rows()
+        );
+        assert_eq!(x.cols(), bundle.feature_dim());
+        acc.fold(&x, &labels).expect("fold");
+    }
+    acc.finish().expect("finish")
+}
+
+/// Collect streamed predictions for a split, again asserting the chunk-size
+/// bound.
+fn streamed_predictions(
+    engine: &zsl_core::infer::ScoringEngine,
+    stream: zsl_core::data::SplitStream,
+    chunk_rows: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut preds = Vec::new();
+    let mut labels = Vec::new();
+    for chunk in stream {
+        let (x, l) = chunk.expect("chunk");
+        assert!(x.rows() <= chunk_rows);
+        preds.extend(engine.predict(&x));
+        labels.extend(l);
+    }
+    (preds, labels)
+}
+
+#[test]
+fn streamed_gram_training_and_prediction_match_in_memory_at_every_chunk_size() {
+    let ds = synthetic_dataset();
+    for format in [FeatureFormat::Zsb, FeatureFormat::Csv] {
+        let dir = temp_dir(&format!("diff_{format:?}"));
+        export_dataset(&ds, &dir, format).expect("export");
+        let mem = DatasetBundle::load_with_format(&dir, format)
+            .expect("load")
+            .to_dataset()
+            .expect("materialize");
+        let reference = EszslProblem::new(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
+            .expect("in-memory problem");
+        let model = EszslConfig::new()
+            .gamma(1.0)
+            .lambda(1.0)
+            .build()
+            .train(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
+            .expect("train");
+        let engine = zsl_core::infer::ScoringEngine::new(
+            model.clone(),
+            mem.all_signatures(),
+            Similarity::Cosine,
+        );
+        let mem_seen_pred = engine.predict(&mem.test_seen_x);
+        let mem_unseen_pred = engine.predict(&mem.test_unseen_x);
+        let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine);
+
+        for chunk_rows in chunk_sizes(mem.train_x.rows()) {
+            let label = format!("{format:?} chunk_rows={chunk_rows}");
+            let bundle =
+                StreamingBundle::open_with_format(&dir, format, chunk_rows).expect("open stream");
+            assert_eq!(
+                bundle.num_samples(),
+                mem.train_x.rows() + mem.test_seen_x.rows() + mem.test_unseen_x.rows()
+            );
+
+            // 1. Gram accumulators are bit-identical.
+            let streamed = streamed_problem(&bundle);
+            assert_eq!(
+                streamed.xtx().as_slice(),
+                reference.xtx().as_slice(),
+                "{label}"
+            );
+            assert_eq!(
+                streamed.xtys().as_slice(),
+                reference.xtys().as_slice(),
+                "{label}"
+            );
+            assert_eq!(
+                streamed.sts().as_slice(),
+                reference.sts().as_slice(),
+                "{label}"
+            );
+
+            // 2. Trained weights are bit-identical.
+            for (gamma, lambda) in [(1.0, 1.0), (0.01, 100.0)] {
+                assert_eq!(
+                    streamed
+                        .solve(gamma, lambda)
+                        .expect("solve")
+                        .weights()
+                        .as_slice(),
+                    reference
+                        .solve(gamma, lambda)
+                        .expect("solve")
+                        .weights()
+                        .as_slice(),
+                    "{label} gamma={gamma} lambda={lambda}"
+                );
+            }
+
+            // 3. Streamed predictions equal in-memory predictions, with the
+            //    labels streaming alongside in the same (manifest) order.
+            let (pred, labels) = streamed_predictions(
+                &engine,
+                bundle.stream_test_seen().expect("seen stream"),
+                chunk_rows,
+            );
+            assert_eq!(pred, mem_seen_pred, "{label}");
+            assert_eq!(labels, mem.test_seen_labels, "{label}");
+            let (pred, labels) = streamed_predictions(
+                &engine,
+                bundle.stream_test_unseen().expect("unseen stream"),
+                chunk_rows,
+            );
+            assert_eq!(pred, mem_unseen_pred, "{label}");
+            assert_eq!(labels, mem.test_unseen_labels, "{label}");
+
+            // 3b. predict_stream sugar agrees too.
+            let stream = bundle
+                .stream_test_seen()
+                .expect("seen stream")
+                .map(|r| r.map(|(x, _)| x));
+            assert_eq!(
+                engine.predict_stream(stream).expect("predict_stream"),
+                mem_seen_pred,
+                "{label}"
+            );
+
+            // 4. The streamed GZSL report is the in-memory report, bit for bit.
+            let streamed_report =
+                evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("gzsl stream");
+            assert_eq!(streamed_report, mem_report, "{label}");
+            assert_eq!(
+                streamed_report.harmonic_mean.to_bits(),
+                mem_report.harmonic_mean.to_bits(),
+                "{label}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn streamed_full_protocol_matches_select_train_evaluate() {
+    let ds = synthetic_dataset();
+    let dir = temp_dir("protocol");
+    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
+    let mem = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let config = CrossValConfig::new()
+        .gammas(vec![0.1, 1.0, 10.0])
+        .lambdas(vec![0.1, 1.0])
+        .folds(3)
+        .seed(777);
+    let (mem_cv, mem_report) = select_train_evaluate(&mem, &config).expect("in-memory protocol");
+
+    for chunk_rows in chunk_sizes(mem.train_x.rows()) {
+        let bundle = StreamingBundle::open(&dir, chunk_rows).expect("open");
+        let (cv, report) =
+            select_train_evaluate_stream(&bundle, &config).expect("streamed protocol");
+        assert_eq!(cv, mem_cv, "chunk_rows={chunk_rows}");
+        assert_eq!(report, mem_report, "chunk_rows={chunk_rows}");
+    }
+
+    // The underlying streamed cross-validation also matches the raw sweep.
+    let bundle = StreamingBundle::open(&dir, 5).expect("open");
+    let raw_cv = cross_validate(
+        &mem.train_x,
+        &mem.train_labels,
+        &mem.seen_signatures,
+        &config,
+    )
+    .expect("raw cv");
+    let streamed_cv = zsl_core::eval::cross_validate_stream(&bundle, &config).expect("streamed cv");
+    assert_eq!(streamed_cv, raw_cv);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shuffled_manifest_order_streams_bit_identically_via_indexed_reads() {
+    // A manifest whose split indices are NOT ascending exercises the
+    // seek-based indexed .zsb path; the in-memory gather honors manifest
+    // order, so the streamed side must too.
+    let ds = synthetic_dataset();
+    let dir = temp_dir("shuffled");
+    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
+    let manifest_path = dir.join(SPLITS_TXT);
+    let mut manifest = SplitManifest::read(&manifest_path).expect("manifest");
+    let mut rng = Rng::new(0xD15C);
+    rng.shuffle(&mut manifest.trainval);
+    rng.shuffle(&mut manifest.test_seen);
+    rng.shuffle(&mut manifest.test_unseen);
+    manifest.write(&manifest_path).expect("rewrite");
+
+    let mem = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let reference =
+        EszslProblem::new(&mem.train_x, &mem.train_labels, &mem.seen_signatures).expect("problem");
+    let model = EszslConfig::new()
+        .build()
+        .train(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
+        .expect("train");
+    let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine);
+
+    for chunk_rows in chunk_sizes(mem.train_x.rows()) {
+        let bundle = StreamingBundle::open(&dir, chunk_rows).expect("open");
+        let streamed = streamed_problem(&bundle);
+        assert_eq!(
+            streamed.xtx().as_slice(),
+            reference.xtx().as_slice(),
+            "chunk_rows={chunk_rows}"
+        );
+        assert_eq!(
+            streamed.xtys().as_slice(),
+            reference.xtys().as_slice(),
+            "chunk_rows={chunk_rows}"
+        );
+        let report = evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("stream");
+        assert_eq!(report, mem_report, "chunk_rows={chunk_rows}");
+    }
+
+    // CSV cannot serve a shuffled manifest (no random access): typed error,
+    // not silent reordering.
+    std::fs::remove_file(dir.join("features.zsb")).expect("drop zsb");
+    export_dataset(&ds, &temp_dir("shuffled_csv_src"), FeatureFormat::Csv).ok();
+    let csv_dir = temp_dir("shuffled_csv");
+    export_dataset(&ds, &csv_dir, FeatureFormat::Csv).expect("export csv");
+    let mut csv_manifest = SplitManifest::read(&csv_dir.join(SPLITS_TXT)).expect("manifest");
+    csv_manifest.trainval.reverse();
+    csv_manifest
+        .write(&csv_dir.join(SPLITS_TXT))
+        .expect("rewrite");
+    let bundle = StreamingBundle::open(&csv_dir, 4).expect("open csv");
+    match bundle.stream_trainval() {
+        Err(zsl_core::DataError::Split { message }) => {
+            assert!(message.contains("re-export"), "got: {message}")
+        }
+        other => panic!("expected Split error for shuffled CSV stream, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&csv_dir).ok();
+    std::fs::remove_dir_all(temp_dir("shuffled_csv_src")).ok();
+}
+
+#[test]
+fn tiny_bundle_fixture_streams_bit_identically_in_both_formats() {
+    let dir = fixture_dir();
+    for format in [FeatureFormat::Zsb, FeatureFormat::Csv] {
+        let mem = DatasetBundle::load_with_format(&dir, format)
+            .expect("load")
+            .to_dataset()
+            .expect("materialize");
+        let reference = EszslProblem::new(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
+            .expect("problem");
+        let model = EszslConfig::new()
+            .build()
+            .train(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
+            .expect("train");
+        let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine);
+        for chunk_rows in chunk_sizes(mem.train_x.rows()) {
+            let bundle = StreamingBundle::open_with_format(&dir, format, chunk_rows).expect("open");
+            let streamed = streamed_problem(&bundle);
+            let label = format!("{format:?} chunk_rows={chunk_rows}");
+            assert_eq!(
+                streamed.xtx().as_slice(),
+                reference.xtx().as_slice(),
+                "{label}"
+            );
+            assert_eq!(
+                streamed.xtys().as_slice(),
+                reference.xtys().as_slice(),
+                "{label}"
+            );
+            let report = evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("stream");
+            assert_eq!(report, mem_report, "{label}");
+        }
+    }
+}
+
+#[test]
+fn csv_file_shrinking_after_open_is_a_typed_error_not_a_smaller_split() {
+    // A .zsb file re-validates its promised length on every open and maps a
+    // mid-read shrink to Truncated. CSV has no header, so a file that loses
+    // rows between StreamingBundle::open and a streaming pass would just end
+    // early — the stream must notice the missing selected rows and error
+    // rather than hand evaluators a silently smaller split.
+    let ds = synthetic_dataset();
+    let dir = temp_dir("csv_shrink");
+    export_dataset(&ds, &dir, FeatureFormat::Csv).expect("export");
+    let bundle = StreamingBundle::open(&dir, 4).expect("open");
+
+    let csv_path = dir.join("features.csv");
+    let text = std::fs::read_to_string(&csv_path).expect("read");
+    let kept: Vec<&str> = text.lines().collect();
+    let shrunk = kept[..kept.len() - 3].join("\n");
+    std::fs::write(&csv_path, shrunk).expect("shrink");
+
+    // test_unseen rows live at the end of the export, so they are the ones
+    // missing now.
+    let outcome: Result<Vec<_>, _> = bundle
+        .stream_test_unseen()
+        .expect("stream handle")
+        .collect();
+    match outcome {
+        Err(zsl_core::DataError::Shape { message }) => {
+            assert!(message.contains("shrank"), "got: {message}")
+        }
+        other => panic!("expected Shape error for shrunken CSV, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn split_stream_fuses_after_first_error_without_fabricating_a_second() {
+    // A parse error mid-CSV must surface exactly once; polling past it gets
+    // None — not a bogus "file shrank" follow-up from the remaining-rows
+    // bookkeeping.
+    let ds = synthetic_dataset();
+    let dir = temp_dir("fuse");
+    export_dataset(&ds, &dir, FeatureFormat::Csv).expect("export");
+    let bundle = StreamingBundle::open(&dir, 4).expect("open");
+
+    let csv_path = dir.join("features.csv");
+    let text = std::fs::read_to_string(&csv_path).expect("read");
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let mid = lines.len() / 2;
+    lines[mid] = "0,not_a_float,1.0".into();
+    std::fs::write(&csv_path, lines.join("\n")).expect("corrupt");
+
+    let mut stream = bundle.stream_trainval().expect("stream");
+    let mut saw_parse_error = false;
+    for item in &mut stream {
+        match item {
+            Ok(_) => continue,
+            Err(zsl_core::DataError::Parse { .. }) => {
+                saw_parse_error = true;
+                break;
+            }
+            Err(other) => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+    assert!(saw_parse_error);
+    assert!(stream.next().is_none(), "stream must fuse after an error");
+    assert!(stream.next().is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn csv_streamed_protocol_rejects_cv_but_supports_fixed_hyperparams() {
+    // The CSV format supports the whole streamed pipeline except shuffled CV
+    // folds; the rejection is a typed InvalidConfig, and the fixed-(γ,λ)
+    // streamed path still matches in-memory bit-for-bit.
+    let ds = synthetic_dataset();
+    let dir = temp_dir("csv_protocol");
+    export_dataset(&ds, &dir, FeatureFormat::Csv).expect("export");
+    let bundle = StreamingBundle::open(&dir, 8).expect("open");
+    assert_eq!(bundle.format(), FeatureFormat::Csv);
+    let config = CrossValConfig::new().folds(2);
+    match select_train_evaluate_stream(&bundle, &config) {
+        Err(EvalError::InvalidConfig(msg)) => {
+            assert!(msg.contains("features.zsb"), "got: {msg}")
+        }
+        other => panic!("expected InvalidConfig for CSV CV, got {other:?}"),
+    }
+
+    let mem = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let trainer = EszslConfig::new().gamma(0.5).lambda(2.0).build();
+    let mem_model = trainer
+        .train(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
+        .expect("train");
+    let stream = bundle
+        .stream_trainval()
+        .expect("stream")
+        .map(|r| r.map_err(EvalError::from));
+    let streamed_model: zsl_core::model::ProjectionModel = trainer
+        .train_stream(stream, &bundle.seen_signatures())
+        .expect("train_stream");
+    assert_eq!(
+        streamed_model.weights().as_slice(),
+        mem_model.weights().as_slice()
+    );
+    assert_eq!(
+        evaluate_gzsl_stream(&streamed_model, &bundle, Similarity::Cosine).expect("stream"),
+        evaluate_gzsl(&mem_model, &mem, Similarity::Cosine)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,10 +12,10 @@
 //! throughput against this baseline.
 
 use std::time::Instant;
-use zsl_core::data::Rng;
+use zsl_core::data::{export_dataset, DatasetBundle, Rng, StreamingBundle, SyntheticConfig};
 use zsl_core::infer::{ScoringEngine, Similarity};
 use zsl_core::linalg::{default_threads, Matrix};
-use zsl_core::model::ProjectionModel;
+use zsl_core::model::{EszslProblem, GramAccumulator, ProjectionModel};
 
 /// Workload shape: `n` samples of `d` features, projected to `a` attributes,
 /// scored against `z` classes.
@@ -163,6 +163,79 @@ fn cached_bank_scoring_vs_legacy_clone_path() {
         "[bench] cached-bank (1 thread) n={} d={} a={} z={}: legacy={:.4}s cached={:.4}s speedup={:.2}x",
         w.n, w.d, w.a, w.z, t_legacy, t_cached, t_legacy / t_cached
     );
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn streamed_vs_in_memory_ingestion_and_training() {
+    // How much does out-of-core ingestion cost relative to materializing the
+    // bundle? Both sides do the same end-to-end work — read features.zsb from
+    // disk, build the trainval Gram matrices — so the delta isolates the
+    // chunked path's overhead (per-chunk dispatch, filter, rank-1 folds vs
+    // one big gemm). Results are asserted bit-identical first, as everywhere.
+    let w = workload();
+    // Shape the synthetic set so trainval ≈ the workload's n x d.
+    let seen = 32.min(w.z);
+    let per_class = (w.n / seen).max(1);
+    let ds = SyntheticConfig::new()
+        .classes(seen, 8)
+        .dims(w.a.min(seen - 1), w.d)
+        .samples(per_class, 2)
+        .seed(0xD00D)
+        .build();
+    let dir = std::env::temp_dir().join(format!("zsl_throughput_stream_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    export_dataset(&ds, &dir, zsl_core::data::FeatureFormat::Zsb).expect("export");
+    let chunk_rows = (w.n / 16).max(1);
+
+    let in_memory = || -> EszslProblem {
+        let mem = DatasetBundle::load(&dir)
+            .expect("load")
+            .to_dataset()
+            .expect("materialize");
+        EszslProblem::new(&mem.train_x, &mem.train_labels, &mem.seen_signatures).expect("problem")
+    };
+    let streamed = || -> EszslProblem {
+        let bundle = StreamingBundle::open(&dir, chunk_rows).expect("open");
+        let mut acc = GramAccumulator::new(&bundle.seen_signatures());
+        for chunk in bundle.stream_trainval().expect("stream") {
+            let (x, labels) = chunk.expect("chunk");
+            acc.fold(&x, &labels).expect("fold");
+        }
+        acc.finish().expect("finish")
+    };
+
+    let reference = in_memory();
+    let folded = streamed();
+    assert_eq!(
+        folded.xtx().as_slice(),
+        reference.xtx().as_slice(),
+        "streamed Gram diverged from in-memory"
+    );
+    assert_eq!(folded.xtys().as_slice(), reference.xtys().as_slice());
+
+    let (t_memory, _) = time_best(w.iters, in_memory);
+    let (t_stream, _) = time_best(w.iters, streamed);
+    let n_train = ds.train_x.rows();
+    println!(
+        "[bench] streamed-vs-in-memory ingest+gram n_train={} d={} chunk_rows={}: \
+         in-memory={:.4}s ({:.0} rows/s) streamed={:.4}s ({:.0} rows/s) overhead={:.2}x \
+         peak-feature-mem {:.1} KiB vs {:.1} KiB",
+        n_train,
+        w.d,
+        chunk_rows,
+        t_memory,
+        n_train as f64 / t_memory,
+        t_stream,
+        n_train as f64 / t_stream,
+        t_stream / t_memory,
+        (chunk_rows * w.d * 8) as f64 / 1024.0,
+        (ds.train_x.rows() + ds.test_seen_x.rows() + ds.test_unseen_x.rows()) as f64
+            * w.d as f64
+            * 8.0
+            / 1024.0,
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
