@@ -1,6 +1,5 @@
-//! CLI for the dataset + evaluation subsystem: export a synthetic bundle to
-//! disk, or load a bundle, cross-validate `(γ, λ)` on its trainval split,
-//! train, and print the GZSL report.
+//! CLI for the unified pipeline: export bundles, run the CV → train →
+//! evaluate chain through the [`Pipeline`] facade, and serve saved models.
 //!
 //! ```sh
 //! # Write a synthetic bundle (features.zsb + signatures.csv + splits.txt):
@@ -12,25 +11,130 @@
 //! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle --folds 5 --sim dot
 //!
 //! # Same protocol, but out-of-core: features are streamed from disk in
-//! # --chunk-rows blocks and never materialized (bit-identical reports):
+//! # --chunk-rows blocks and never materialized (bit-identical reports).
+//! # Works on both formats — CSV bundles get shuffled reads via a line index:
 //! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle --stream --chunk-rows 1024
+//!
+//! # Train once, persist the engine as a versioned .zsm artifact:
+//! cargo run --release --example eval_dataset -- train /tmp/zsl_bundle --save /tmp/model.zsm
+//!
+//! # Serve: boot from the artifact alone (no training data, no re-solve)
+//! # and score a bundle's test splits:
+//! cargo run --release --example eval_dataset -- predict /tmp/zsl_bundle --load /tmp/model.zsm
 //! ```
+//!
+//! `eval`, `train`, and `predict` all accept `--stream`: the same generic
+//! code path then reads features chunk-at-a-time through the
+//! `FeatureSource` impl of `StreamingBundle` instead of `Dataset`, with
+//! bit-identical results.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use zsl_core::data::{
     export_dataset, DatasetBundle, FeatureFormat, StreamingBundle, SyntheticConfig,
 };
-use zsl_core::eval::{select_train_evaluate, select_train_evaluate_stream, CrossValConfig};
-use zsl_core::infer::Similarity;
+use zsl_core::eval::{evaluate_gzsl_with, CrossValConfig};
+use zsl_core::infer::{ScoringEngine, Similarity};
+use zsl_core::source::{FeatureSource, SplitKind};
+use zsl_core::Pipeline;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  eval_dataset export <dir> [--csv] [--seed N]\n  \
          eval_dataset eval <dir> [--csv] [--folds K] [--seed N] [--sim cosine|dot] \
-         [--stream] [--chunk-rows N]"
+         [--stream] [--chunk-rows N]\n  \
+         eval_dataset train <dir> --save <model.zsm> [--csv] [--folds K] [--seed N] \
+         [--sim cosine|dot] [--stream] [--chunk-rows N]\n  \
+         eval_dataset predict <dir> --load <model.zsm> [--csv] [--stream] [--chunk-rows N]"
     );
     ExitCode::FAILURE
+}
+
+/// Open the bundle as either source kind and hand it to `run` through the
+/// one generic `FeatureSource` interface — the same code path serves
+/// in-memory and out-of-core ingestion.
+fn with_source(
+    dir: &std::path::Path,
+    format: Option<FeatureFormat>,
+    stream: bool,
+    chunk_rows: usize,
+    run: impl FnOnce(&dyn FeatureSource) -> ExitCode,
+) -> ExitCode {
+    if stream {
+        let opened = match format {
+            Some(f) => StreamingBundle::open_with_format(dir, f, chunk_rows),
+            None => StreamingBundle::open(dir, chunk_rows),
+        };
+        let bundle = match opened {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("failed to open streaming bundle {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "streaming bundle: {} samples x {} features, {} classes x {} attributes ({:?})",
+            bundle.num_samples(),
+            bundle.feature_dim(),
+            bundle.num_classes(),
+            bundle.attr_dim(),
+            bundle.format(),
+        );
+        // A chunk never exceeds the table, so clamp before estimating;
+        // saturating math keeps absurd --chunk-rows values from wrapping.
+        let effective_chunk = chunk_rows.min(bundle.num_samples());
+        println!(
+            "chunk_rows {chunk_rows}: peak resident feature memory ≈ {} KiB (vs {} KiB materialized)",
+            effective_chunk
+                .saturating_mul(bundle.feature_dim())
+                .saturating_mul(8)
+                / 1024,
+            bundle
+                .num_samples()
+                .saturating_mul(bundle.feature_dim())
+                .saturating_mul(8)
+                / 1024
+        );
+        run(&bundle)
+    } else {
+        let loaded = match format {
+            Some(f) => DatasetBundle::load_with_format(dir, f),
+            None => DatasetBundle::load(dir),
+        };
+        let bundle = match loaded {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("failed to load bundle {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "bundle: {} samples x {} features, {} classes x {} attributes",
+            bundle.num_samples(),
+            bundle.feature_dim(),
+            bundle.num_classes(),
+            bundle.attr_dim()
+        );
+        let ds = match bundle.to_dataset() {
+            Ok(ds) => ds,
+            Err(e) => {
+                eprintln!("invalid splits: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        run(&ds)
+    }
+}
+
+fn print_splits(source: &dyn FeatureSource) {
+    println!(
+        "splits: {} trainval / {} test_seen / {} test_unseen ({} seen, {} unseen classes)",
+        source.split_len(SplitKind::Trainval),
+        source.split_len(SplitKind::TestSeen),
+        source.split_len(SplitKind::TestUnseen),
+        source.num_seen_classes(),
+        source.num_unseen_classes()
+    );
 }
 
 fn main() -> ExitCode {
@@ -41,10 +145,20 @@ fn main() -> ExitCode {
     };
 
     // Shared flag parsing for the tail of the argument list. Flags only
-    // meaningful for the other subcommand are rejected, not silently
-    // swallowed (an ignored `--csv` on eval would fake CSV-path coverage).
+    // meaningful for another subcommand are rejected, not silently swallowed
+    // (an ignored `--csv` on eval would fake CSV-path coverage).
     let allowed: &[&str] = match command {
         "export" => &["--csv", "--seed"],
+        "train" => &[
+            "--csv",
+            "--seed",
+            "--folds",
+            "--sim",
+            "--stream",
+            "--chunk-rows",
+            "--save",
+        ],
+        "predict" => &["--csv", "--stream", "--chunk-rows", "--load"],
         _ => &[
             "--csv",
             "--seed",
@@ -54,13 +168,13 @@ fn main() -> ExitCode {
             "--chunk-rows",
         ],
     };
-    let mut format = FeatureFormat::Zsb;
-    let mut explicit_format = false;
+    let mut format: Option<FeatureFormat> = None;
     let mut seed: u64 = 2026;
     let mut folds: usize = 3;
     let mut similarity = Similarity::Cosine;
     let mut stream = false;
     let mut chunk_rows: usize = 4096;
+    let mut model_path: Option<PathBuf> = None;
     let mut rest = args[2..].iter();
     while let Some(flag) = rest.next() {
         if !allowed.contains(&flag.as_str()) {
@@ -68,12 +182,9 @@ fn main() -> ExitCode {
             return usage();
         }
         match flag.as_str() {
-            "--csv" => {
-                format = FeatureFormat::Csv;
-                explicit_format = true;
-            }
+            "--csv" => format = Some(FeatureFormat::Csv),
             "--stream" => stream = true,
-            "--seed" | "--folds" | "--sim" | "--chunk-rows" => {
+            "--seed" | "--folds" | "--sim" | "--chunk-rows" | "--save" | "--load" => {
                 let Some(value) = rest.next() else {
                     eprintln!("{flag} needs a value");
                     return usage();
@@ -82,6 +193,10 @@ fn main() -> ExitCode {
                     "--seed" => value.parse().map(|v| seed = v).is_ok(),
                     "--folds" => value.parse().map(|v| folds = v).is_ok(),
                     "--chunk-rows" => value.parse().map(|v| chunk_rows = v).is_ok(),
+                    "--save" | "--load" => {
+                        model_path = Some(PathBuf::from(value));
+                        true
+                    }
                     _ => value.parse().map(|v| similarity = v).is_ok(),
                 };
                 if !ok {
@@ -102,7 +217,7 @@ fn main() -> ExitCode {
                 .noise(0.05)
                 .seed(seed)
                 .build();
-            match export_dataset(&ds, &dir, format) {
+            match export_dataset(&ds, &dir, format.unwrap_or(FeatureFormat::Zsb)) {
                 Ok(path) => {
                     println!(
                         "exported synthetic bundle (seed {seed}, {} samples, {} classes) to {}",
@@ -118,146 +233,109 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "eval" if stream => {
-            // Out-of-core path: features are never materialized; the whole
-            // protocol (CV → final fit → GZSL report) reads the .zsb file in
-            // chunk_rows blocks and produces bit-identical numbers to the
-            // in-memory path. Shuffled CV folds need random row access, so
-            // this path is .zsb-only.
-            if explicit_format {
-                eprintln!(
-                    "--stream needs random row access for shuffled CV folds, which the \
-                     line-oriented CSV format cannot offer; drop --csv or re-export as .zsb"
-                );
-                return ExitCode::FAILURE;
-            }
-            let bundle =
-                match StreamingBundle::open_with_format(&dir, FeatureFormat::Zsb, chunk_rows) {
-                    Ok(b) => b,
+        "eval" | "train" => {
+            let save_to = match (command, model_path) {
+                ("train", Some(path)) => Some(path),
+                ("train", None) => {
+                    eprintln!("'train' needs --save <model.zsm>");
+                    return usage();
+                }
+                (_, p) => p,
+            };
+            let config = CrossValConfig::new()
+                .folds(folds)
+                .seed(seed)
+                .similarity(similarity);
+            with_source(&dir, format, stream, chunk_rows, |source| {
+                print_splits(source);
+                // The documented front door: CV → fit → (evaluate | save).
+                let trained = match Pipeline::from(source).cross_validate(&config) {
+                    Ok(p) => match p.train() {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("training failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
                     Err(e) => {
-                        eprintln!("failed to open streaming bundle {}: {e}", dir.display());
+                        eprintln!("cross-validation failed: {e}");
                         return ExitCode::FAILURE;
                     }
                 };
-            println!(
-                "streaming bundle: {} samples x {} features, {} classes x {} attributes",
-                bundle.num_samples(),
-                bundle.feature_dim(),
-                bundle.num_classes(),
-                bundle.attr_dim()
-            );
-            println!(
-                "splits: {} trainval / {} test_seen / {} test_unseen ({} seen, {} unseen classes)",
-                bundle.manifest().trainval.len(),
-                bundle.manifest().test_seen.len(),
-                bundle.manifest().test_unseen.len(),
-                bundle.num_seen_classes(),
-                bundle.num_unseen_classes()
-            );
-            // A chunk never exceeds the table, so clamp before estimating;
-            // saturating math keeps absurd --chunk-rows values from wrapping.
-            let effective_chunk = chunk_rows.min(bundle.num_samples());
-            println!(
-                "chunk_rows {chunk_rows}: peak resident feature memory ≈ {} KiB \
-                 (vs {} KiB materialized)",
-                effective_chunk
-                    .saturating_mul(bundle.feature_dim())
-                    .saturating_mul(8)
-                    / 1024,
-                bundle
-                    .num_samples()
-                    .saturating_mul(bundle.feature_dim())
-                    .saturating_mul(8)
-                    / 1024
-            );
-            let config = CrossValConfig::new()
-                .folds(folds)
-                .seed(seed)
-                .similarity(similarity);
-            let (cv, report) = match select_train_evaluate_stream(&bundle, &config) {
-                Ok(out) => out,
-                Err(e) => {
-                    eprintln!("streamed evaluation failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            println!(
-                "\n{}-fold CV over {} grid points (seed {seed}, {similarity} similarity, streamed):",
-                cv.folds,
-                cv.grid.len()
-            );
-            println!(
-                "selected gamma={} lambda={} (val acc {:.4})\n",
-                cv.best.gamma, cv.best.lambda, cv.best.mean_accuracy
-            );
-            println!("{report}");
-            ExitCode::SUCCESS
-        }
-        "eval" => {
-            // --csv pins the CSV feature table; default auto-detection
-            // prefers .zsb when both exist.
-            let loaded = if explicit_format {
-                DatasetBundle::load_with_format(&dir, format)
-            } else {
-                DatasetBundle::load(&dir)
-            };
-            let bundle = match loaded {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("failed to load bundle {}: {e}", dir.display());
-                    return ExitCode::FAILURE;
-                }
-            };
-            println!(
-                "bundle: {} samples x {} features, {} classes x {} attributes",
-                bundle.num_samples(),
-                bundle.feature_dim(),
-                bundle.num_classes(),
-                bundle.attr_dim()
-            );
-            let ds = match bundle.to_dataset() {
-                Ok(ds) => ds,
-                Err(e) => {
-                    eprintln!("invalid splits: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            println!(
-                "splits: {} trainval / {} test_seen / {} test_unseen ({} seen, {} unseen classes)",
-                ds.train_x.rows(),
-                ds.test_seen_x.rows(),
-                ds.test_unseen_x.rows(),
-                ds.seen_signatures.rows(),
-                ds.unseen_signatures.rows()
-            );
-            let config = CrossValConfig::new()
-                .folds(folds)
-                .seed(seed)
-                .similarity(similarity);
-            let (cv, report) = match select_train_evaluate(&ds, &config) {
-                Ok(out) => out,
-                Err(e) => {
-                    eprintln!("evaluation failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            println!(
-                "\n{}-fold CV over {} grid points (seed {seed}, {similarity} similarity):",
-                cv.folds,
-                cv.grid.len()
-            );
-            for point in &cv.grid {
+                let cv = trained.cv_report().expect("cross_validate ran");
                 println!(
-                    "  gamma={:<8} lambda={:<8} val acc {:.4}",
-                    point.gamma, point.lambda, point.mean_accuracy
+                    "\n{}-fold CV over {} grid points (seed {seed}, {similarity} similarity{}):",
+                    cv.folds,
+                    cv.grid.len(),
+                    if stream { ", streamed" } else { "" }
                 );
-            }
+                for point in &cv.grid {
+                    println!(
+                        "  gamma={:<8} lambda={:<8} val acc {:.4}",
+                        point.gamma, point.lambda, point.mean_accuracy
+                    );
+                }
+                println!(
+                    "selected gamma={} lambda={} (val acc {:.4})\n",
+                    cv.best.gamma, cv.best.lambda, cv.best.mean_accuracy
+                );
+                if let Some(path) = &save_to {
+                    if let Err(e) = trained.save(path) {
+                        eprintln!("saving model artifact failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("saved model artifact to {}", path.display());
+                }
+                match trained.evaluate() {
+                    Ok(report) => {
+                        println!("{report}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("evaluation failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            })
+        }
+        "predict" => {
+            let Some(path) = model_path else {
+                eprintln!("'predict' needs --load <model.zsm>");
+                return usage();
+            };
+            // Serving boots from the artifact alone: the engine (projection,
+            // cached bank, similarity) comes off disk with no training data
+            // and no closed-form solve.
+            let (engine, metadata) = match ScoringEngine::load_with_metadata(&path) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("failed to load model artifact {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
             println!(
-                "selected gamma={} lambda={} (val acc {:.4})\n",
-                cv.best.gamma, cv.best.lambda, cv.best.mean_accuracy
+                "loaded {}: {} classes x {} attributes, {} similarity",
+                path.display(),
+                engine.num_classes(),
+                engine.signatures().cols(),
+                engine.similarity()
             );
-            println!("{report}");
-            ExitCode::SUCCESS
+            if !metadata.is_empty() {
+                println!("provenance: {metadata}");
+            }
+            with_source(&dir, format, stream, chunk_rows, |source| {
+                print_splits(source);
+                match evaluate_gzsl_with(&engine, source) {
+                    Ok(report) => {
+                        println!("\n{report}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("serving evaluation failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            })
         }
         _ => usage(),
     }

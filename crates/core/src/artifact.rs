@@ -1,0 +1,350 @@
+//! Persistable model artifacts: the versioned `.zsm` format behind
+//! [`ScoringEngine::save`] / [`ScoringEngine::load`].
+//!
+//! A served deployment should boot from a small, cheap-to-load artifact —
+//! not re-solve the closed form against the training set. A `.zsm` file
+//! captures everything a [`ScoringEngine`] needs at serving time:
+//!
+//! | offset | size  | field |
+//! |-------:|------:|-------|
+//! | 0      | 4     | magic `"ZSMF"` |
+//! | 4      | 2     | version (= 1) |
+//! | 6      | 2     | flags (bit 0: bank stored pre-normalized) |
+//! | 8      | 1     | similarity (0 = cosine, 1 = dot) |
+//! | 9      | 7     | reserved (= 0) |
+//! | 16     | 8     | `feature_dim` d (u64) |
+//! | 24     | 8     | `attr_dim` a (u64) |
+//! | 32     | 8     | `class_count` z (u64) |
+//! | 40     | 8     | provenance metadata byte length m (u64) |
+//! | 48     | m     | provenance metadata, UTF-8 |
+//! | 48+m   | 8·d·a | projection `W`, row-major f64 |
+//! | …      | 8·z·a | signature bank, row-major f64, exactly as cached |
+//!
+//! All integers and floats are little-endian. The signature bank is written
+//! **exactly as the engine caches it** — already L2-normalized for cosine
+//! engines (flags bit 0) — and the loader rebuilds the engine without
+//! re-normalizing, so a save/load round trip reproduces scores and
+//! predictions **bit-for-bit** (re-normalizing an already-normalized bank
+//! would divide by norms of ≈1.0 and perturb the cached bits).
+//!
+//! Errors follow the `.zsb` loader's discipline: typed [`DataError`]s for
+//! I/O failures, truncation, bad magic, version skew, unknown flags,
+//! overflowing dimensions, and non-finite payloads — never a panic on
+//! untrusted bytes. `tests/model_artifacts.rs` covers the error paths and a
+//! committed golden artifact; `tests/streaming_equiv.rs` checks that a
+//! reloaded engine reproduces the golden fixture's `GzslReport` bits.
+
+use crate::data::DataError;
+use crate::error::ZslError;
+use crate::infer::{ScoringEngine, Similarity};
+use crate::linalg::Matrix;
+use crate::model::ProjectionModel;
+use std::path::Path;
+
+/// Magic bytes opening every `.zsm` model artifact.
+pub const ZSM_MAGIC: [u8; 4] = *b"ZSMF";
+/// Current `.zsm` format version.
+pub const ZSM_VERSION: u16 = 1;
+/// Fixed `.zsm` header length in bytes (the metadata block follows it).
+pub const ZSM_HEADER_LEN: u64 = 48;
+
+/// Flags bit 0: the signature bank bytes are already L2-normalized (set iff
+/// the similarity is cosine).
+const FLAG_BANK_PRENORMALIZED: u16 = 1 << 0;
+
+impl ScoringEngine {
+    /// Persist this engine as a `.zsm` artifact with empty provenance
+    /// metadata. See [`ScoringEngine::save_with_metadata`].
+    pub fn save(&self, path: &Path) -> Result<(), ZslError> {
+        self.save_with_metadata(path, "")
+    }
+
+    /// Persist this engine as a versioned `.zsm` artifact: projection `W`,
+    /// cached signature bank, similarity, normalization flag, and a
+    /// free-form UTF-8 provenance string (hyperparameters, source dataset,
+    /// …) that [`ScoringEngine::load_with_metadata`] returns verbatim.
+    ///
+    /// The write is atomic: bytes land in a temporary file beside the target
+    /// and are renamed over it, so a crash mid-save never leaves a truncated
+    /// artifact where a serving process expects a bootable model, and a
+    /// reader racing a re-save sees either the old file or the new one —
+    /// never a partial write.
+    ///
+    /// Reloading reproduces predictions bit-for-bit; the worker-thread count
+    /// is a runtime property and is not stored.
+    pub fn save_with_metadata(&self, path: &Path, metadata: &str) -> Result<(), ZslError> {
+        let w = self.model().weights();
+        let bank = self.signatures();
+        let d = w.rows();
+        let a = w.cols();
+        let z = bank.rows();
+        let mut bytes =
+            Vec::with_capacity(ZSM_HEADER_LEN as usize + metadata.len() + 8 * (d * a + z * a));
+        bytes.extend_from_slice(&ZSM_MAGIC);
+        bytes.extend_from_slice(&ZSM_VERSION.to_le_bytes());
+        let flags = if self.similarity() == Similarity::Cosine {
+            FLAG_BANK_PRENORMALIZED
+        } else {
+            0
+        };
+        bytes.extend_from_slice(&flags.to_le_bytes());
+        bytes.push(match self.similarity() {
+            Similarity::Cosine => 0,
+            Similarity::Dot => 1,
+        });
+        bytes.extend_from_slice(&[0u8; 7]); // reserved
+        bytes.extend_from_slice(&(d as u64).to_le_bytes());
+        bytes.extend_from_slice(&(a as u64).to_le_bytes());
+        bytes.extend_from_slice(&(z as u64).to_le_bytes());
+        bytes.extend_from_slice(&(metadata.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(metadata.as_bytes());
+        for &v in w.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in bank.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        // Temp file in the same directory (renames across filesystems fail),
+        // named after the target so concurrent saves to different artifacts
+        // cannot collide. The data is fsynced before the rename — without
+        // that, delayed allocation can commit the rename before the bytes
+        // and a power loss would leave a truncated "new" artifact. Any
+        // failure cleans the temp file up rather than leaving partial bytes
+        // (e.g. on a full disk) behind.
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let write_synced = (|| {
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, &bytes)?;
+            file.sync_all()
+        })();
+        write_synced.map_err(|e| {
+            std::fs::remove_file(&tmp).ok();
+            ZslError::Data(DataError::io(&tmp, e))
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            std::fs::remove_file(&tmp).ok();
+            ZslError::Data(DataError::io(path, e))
+        })
+    }
+
+    /// Load a `.zsm` artifact written by [`ScoringEngine::save`], discarding
+    /// its provenance metadata. The engine uses one worker thread per
+    /// available core, like [`ScoringEngine::new`].
+    pub fn load(path: &Path) -> Result<ScoringEngine, ZslError> {
+        Ok(Self::load_with_metadata(path)?.0)
+    }
+
+    /// Load a `.zsm` artifact plus its provenance metadata string.
+    ///
+    /// Every header field is validated before any payload is interpreted:
+    /// magic, version, flags, similarity byte, reserved bytes, non-zero
+    /// dimensions, checked-arithmetic payload size (a crafted header cannot
+    /// wrap the length check or abort on allocation), exact file length
+    /// (truncation *and* trailing garbage are errors), UTF-8 metadata, and
+    /// finite `W`/bank values.
+    pub fn load_with_metadata(path: &Path) -> Result<(ScoringEngine, String), ZslError> {
+        read_zsm(path).map_err(ZslError::Data)
+    }
+}
+
+/// Parse and validate a `.zsm` file. Internal: the public surface is
+/// [`ScoringEngine::load`] / [`ScoringEngine::load_with_metadata`].
+fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
+    let bytes = std::fs::read(path).map_err(|e| DataError::io(path, e))?;
+    let actual = bytes.len() as u64;
+    if actual < ZSM_HEADER_LEN {
+        return Err(DataError::Truncated {
+            path: path.into(),
+            expected: ZSM_HEADER_LEN,
+            actual,
+        });
+    }
+
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if magic != ZSM_MAGIC {
+        return Err(DataError::header(
+            path,
+            format!("bad magic {magic:?}, expected {ZSM_MAGIC:?} (\"ZSMF\")"),
+        ));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != ZSM_VERSION {
+        return Err(DataError::header(
+            path,
+            format!("unsupported version {version}, this reader handles {ZSM_VERSION}"),
+        ));
+    }
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if flags & !FLAG_BANK_PRENORMALIZED != 0 {
+        return Err(DataError::header(
+            path,
+            format!("unknown flags 0x{flags:04x}, version {ZSM_VERSION} defines only bit 0"),
+        ));
+    }
+    let similarity = match bytes[8] {
+        0 => Similarity::Cosine,
+        1 => Similarity::Dot,
+        other => {
+            return Err(DataError::header(
+                path,
+                format!("unknown similarity code {other}, expected 0 (cosine) or 1 (dot)"),
+            ));
+        }
+    };
+    let prenormalized = flags & FLAG_BANK_PRENORMALIZED != 0;
+    if prenormalized != (similarity == Similarity::Cosine) {
+        return Err(DataError::header(
+            path,
+            format!(
+                "flags claim pre-normalized={prenormalized} but similarity is {similarity}; \
+                 cosine engines always store a normalized bank and dot engines never do"
+            ),
+        ));
+    }
+    if bytes[9..16].iter().any(|&b| b != 0) {
+        return Err(DataError::header(
+            path,
+            "reserved header bytes are non-zero",
+        ));
+    }
+
+    let d = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let a = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    let z = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+    let meta_len = u64::from_le_bytes(bytes[40..48].try_into().expect("8 bytes"));
+    if d == 0 || a == 0 || z == 0 {
+        return Err(DataError::header(
+            path,
+            format!("zero-sized model: feature_dim={d}, attr_dim={a}, class_count={z}"),
+        ));
+    }
+
+    // Header fields are untrusted: checked arithmetic keeps crafted dims from
+    // wrapping the expected length back into range, and the usize conversions
+    // reject payloads unaddressable on this platform.
+    let expected = 8u64
+        .checked_mul(d)
+        .and_then(|wd| wd.checked_mul(a))
+        .and_then(|w_bytes| 8u64.checked_mul(z)?.checked_mul(a)?.checked_add(w_bytes))
+        .and_then(|payload| payload.checked_add(meta_len))
+        .and_then(|payload| payload.checked_add(ZSM_HEADER_LEN));
+    let Some(expected) = expected else {
+        return Err(DataError::header(
+            path,
+            format!(
+                "header dims overflow: feature_dim={d} x attr_dim={a}, class_count={z}, \
+                 metadata_len={meta_len}"
+            ),
+        ));
+    };
+    let dims = usize::try_from(d)
+        .ok()
+        .zip(usize::try_from(a).ok())
+        .zip(usize::try_from(z).ok())
+        .and_then(|((d, a), z)| {
+            d.checked_mul(a)?.checked_mul(8)?;
+            z.checked_mul(a)?.checked_mul(8)?;
+            Some((d, a, z))
+        });
+    let Some((d, a, z)) = dims else {
+        return Err(DataError::header(
+            path,
+            format!(
+                "header dims overflow usize on this platform: feature_dim={d} x attr_dim={a}, \
+                 class_count={z}"
+            ),
+        ));
+    };
+    if actual < expected {
+        return Err(DataError::Truncated {
+            path: path.into(),
+            expected,
+            actual,
+        });
+    }
+    if actual > expected {
+        return Err(DataError::header(
+            path,
+            format!(
+                "{} trailing bytes after the model payload",
+                actual - expected
+            ),
+        ));
+    }
+
+    let meta_end = ZSM_HEADER_LEN as usize + meta_len as usize;
+    let metadata = std::str::from_utf8(&bytes[ZSM_HEADER_LEN as usize..meta_end])
+        .map_err(|_| DataError::header(path, "provenance metadata is not valid UTF-8"))?
+        .to_string();
+
+    let parse_block = |what: &str, start: usize, rows: usize, cols: usize| {
+        let mut data = Vec::with_capacity(rows * cols);
+        for (i, b) in bytes[start..start + 8 * rows * cols]
+            .chunks_exact(8)
+            .enumerate()
+        {
+            let v = f64::from_le_bytes(b.try_into().expect("8 bytes"));
+            if !v.is_finite() {
+                return Err(DataError::header(
+                    path,
+                    format!(
+                        "non-finite {what} value {v} at row {}, col {}",
+                        i / cols,
+                        i % cols
+                    ),
+                ));
+            }
+            data.push(v);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    };
+    let w = parse_block("weight", meta_end, d, a)?;
+    let bank = parse_block("signature", meta_end + 8 * d * a, z, a)?;
+
+    // from_cached_parts takes the bank exactly as stored — no
+    // re-normalization — which is what makes the round trip bit-identical.
+    let engine = ScoringEngine::from_cached_parts(
+        ProjectionModel::from_weights(w),
+        bank,
+        similarity,
+        crate::linalg::default_threads(),
+    );
+    Ok((engine, metadata))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Rng;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("zsl_artifact_{}_{tag}.zsm", std::process::id()))
+    }
+
+    fn random_engine(seed: u64, d: usize, a: usize, z: usize, sim: Similarity) -> ScoringEngine {
+        let mut rng = Rng::new(seed);
+        let w = Matrix::from_vec(d, a, (0..d * a).map(|_| rng.normal()).collect());
+        let bank = Matrix::from_vec(z, a, (0..z * a).map(|_| rng.normal()).collect());
+        ScoringEngine::new(ProjectionModel::from_weights(w), bank, sim)
+    }
+
+    // The bit-identical round-trip property lives in
+    // tests/model_artifacts.rs (one copy, the integration suite); the inline
+    // tests below cover only what that suite does not.
+
+    #[test]
+    fn empty_metadata_and_missing_file_behave() {
+        let path = temp_path("meta");
+        let engine = random_engine(5, 3, 2, 4, Similarity::Dot);
+        engine.save(&path).expect("save");
+        let (_, metadata) = ScoringEngine::load_with_metadata(&path).expect("load");
+        assert_eq!(metadata, "");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            ScoringEngine::load(&path),
+            Err(ZslError::Data(DataError::Io { .. }))
+        ));
+    }
+}

@@ -37,6 +37,7 @@ pub use loader::{
 };
 pub use rng::Rng;
 pub use stream::{
-    ChunkReader, CsvChunkReader, FeatureChunk, SplitStream, StreamingBundle, ZsbChunkReader,
+    ChunkReader, CsvChunkReader, CsvIndexedReader, CsvLineIndex, FeatureChunk, IndexedReader,
+    SplitStream, StreamingBundle, ZsbChunkReader,
 };
 pub use synthetic::{Dataset, SyntheticConfig};

@@ -39,6 +39,232 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
+/// Byte offsets (and line numbers) of every data row in a CSV feature table
+/// — the random-access map that lets indexed/shuffled streamed reads work on
+/// line-oriented files.
+///
+/// Built in **one pass** ([`CsvLineIndex::build`]) that doubles as the full
+/// validation scan a CSV bundle needs anyway (CSV has no header to trust), so
+/// a [`StreamingBundle`] gets the index for free at open. Memory is
+/// `O(n_samples)` bookkeeping (16 bytes per row), the same class as the
+/// per-sample labels — never `O(n x d)` features.
+#[derive(Clone, Debug)]
+pub struct CsvLineIndex {
+    /// Byte offset of each data row, file order.
+    offsets: Vec<u64>,
+    /// 1-based line number of each data row (for error messages).
+    line_nos: Vec<usize>,
+    /// Established row width.
+    cols: usize,
+}
+
+impl CsvLineIndex {
+    /// Scan `path` once: validate every line through the shared CSV parser,
+    /// record each data row's byte offset and line number, and collect the
+    /// raw labels. Exactly the errors of a full [`CsvChunkReader`] pass
+    /// (same parse function, same line numbering), plus the index.
+    pub fn build(path: &Path) -> Result<(Vec<u32>, CsvLineIndex), DataError> {
+        let file = File::open(path).map_err(|e| DataError::io(path, e))?;
+        let mut reader = BufReader::new(file);
+        let mut labels = Vec::new();
+        let mut offsets = Vec::new();
+        let mut line_nos = Vec::new();
+        let mut cols: Option<usize> = None;
+        let mut scratch = Vec::new();
+        let mut line = String::new();
+        let mut offset = 0u64;
+        let mut line_no = 0usize;
+        loop {
+            line.clear();
+            let read = reader
+                .read_line(&mut line)
+                .map_err(|e| DataError::io(path, e))?;
+            if read == 0 {
+                break;
+            }
+            line_no += 1;
+            let start = offset;
+            offset += read as u64;
+            scratch.clear();
+            if let Some(label) =
+                parse_labeled_csv_line(path, line_no, &line, &mut cols, &mut scratch)?
+            {
+                labels.push(label);
+                offsets.push(start);
+                line_nos.push(line_no);
+            }
+        }
+        if labels.is_empty() {
+            // Matches the chunk reader's empty-table error.
+            return Err(DataError::parse(path, 1, "feature table has no rows"));
+        }
+        let cols = cols.expect("a non-empty table sets cols");
+        Ok((
+            labels,
+            CsvLineIndex {
+                offsets,
+                line_nos,
+                cols,
+            },
+        ))
+    }
+
+    /// Number of indexed data rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True when the index holds no rows (never after a successful
+    /// [`CsvLineIndex::build`], which rejects empty tables).
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Established row width of the indexed table.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Indexed chunked reader over a CSV feature table: yields exactly the
+/// requested rows, in the given order (repeats allowed), in `chunk_rows`
+/// blocks — the CSV counterpart of [`ZsbChunkReader::open_indexed`].
+///
+/// Runs of consecutive row numbers are coalesced into one seek followed by
+/// sequential line reads (comment/blank lines between data rows are skipped
+/// by the shared parser), so an ascending selection costs one seek per gap,
+/// not one per row. A file that shrank after indexing surfaces as a typed
+/// error, never a silently shorter stream; the iterator fuses after the
+/// first error.
+#[derive(Debug)]
+pub struct CsvIndexedReader {
+    path: PathBuf,
+    file: BufReader<File>,
+    /// Requested global rows, with their byte offsets and line numbers
+    /// gathered from the index (aligned vectors, selection order).
+    order: Vec<usize>,
+    offsets: Vec<u64>,
+    line_nos: Vec<usize>,
+    cols: usize,
+    chunk_rows: usize,
+    cursor: usize,
+    failed: bool,
+}
+
+impl CsvIndexedReader {
+    /// Open `path` to stream exactly `indices` (global data-row numbers from
+    /// `index`, in the given order) in `chunk_rows` blocks.
+    pub fn open(
+        path: &Path,
+        index: &CsvLineIndex,
+        indices: &[usize],
+        chunk_rows: usize,
+    ) -> Result<Self, DataError> {
+        validate_chunk_rows(chunk_rows)?;
+        if let Some(&bad) = indices.iter().find(|&&i| i >= index.len()) {
+            return Err(DataError::Split {
+                message: format!(
+                    "streamed row index {bad} out of range for {} samples",
+                    index.len()
+                ),
+            });
+        }
+        let file = File::open(path).map_err(|e| DataError::io(path, e))?;
+        Ok(CsvIndexedReader {
+            path: path.into(),
+            file: BufReader::new(file),
+            order: indices.to_vec(),
+            offsets: indices.iter().map(|&i| index.offsets[i]).collect(),
+            line_nos: indices.iter().map(|&i| index.line_nos[i]).collect(),
+            cols: index.cols,
+            chunk_rows,
+            cursor: 0,
+            failed: false,
+        })
+    }
+
+    /// Read the `run_len` consecutive data rows starting at selection
+    /// position `pos`: one seek, then sequential line reads through the
+    /// shared parser.
+    fn read_run(
+        &mut self,
+        pos: usize,
+        run_len: usize,
+        data: &mut Vec<f64>,
+        labels: &mut Vec<u32>,
+    ) -> Result<(), DataError> {
+        self.file
+            .seek(SeekFrom::Start(self.offsets[pos]))
+            .map_err(|e| DataError::io(&self.path, e))?;
+        let mut line = String::new();
+        for r in 0..run_len {
+            let line_no = self.line_nos[pos + r];
+            loop {
+                line.clear();
+                let read = self
+                    .file
+                    .read_line(&mut line)
+                    .map_err(|e| DataError::io(&self.path, e))?;
+                if read == 0 {
+                    return Err(DataError::Shape {
+                        message: format!(
+                            "{}: feature table ended before indexed row {} — the file \
+                             shrank after the bundle was validated",
+                            self.path.display(),
+                            self.order[pos + r]
+                        ),
+                    });
+                }
+                let mut cols = Some(self.cols);
+                match parse_labeled_csv_line(&self.path, line_no, &line, &mut cols, data)? {
+                    Some(label) => {
+                        labels.push(label);
+                        break;
+                    }
+                    None => continue, // blank/comment between data rows
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for CsvIndexedReader {
+    type Item = Result<FeatureChunk, DataError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.cursor >= self.order.len() {
+            return None;
+        }
+        let start_pos = self.cursor;
+        let take = self.chunk_rows.min(self.order.len() - start_pos);
+        let mut data = Vec::with_capacity(take * self.cols);
+        let mut labels = Vec::with_capacity(take);
+        let mut p = 0;
+        while p < take {
+            // Coalesce a run of consecutive global rows into one seek.
+            let pos = start_pos + p;
+            let mut run_len = 1;
+            while p + run_len < take
+                && self.order[pos + run_len] == self.order[pos + run_len - 1] + 1
+            {
+                run_len += 1;
+            }
+            if let Err(e) = self.read_run(pos, run_len, &mut data, &mut labels) {
+                self.failed = true;
+                return Some(Err(e));
+            }
+            p += run_len;
+        }
+        self.cursor = start_pos + take;
+        Some(Ok(FeatureChunk {
+            start_row: start_pos,
+            labels,
+            features: Matrix::from_vec(take, self.cols, data),
+        }))
+    }
+}
+
 /// One block of consecutive samples pulled from a feature table.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FeatureChunk {
@@ -534,27 +760,35 @@ pub struct SplitStream {
 }
 
 #[derive(Debug)]
-enum SplitStreamInner {
-    /// Forward scan of the whole file, filtering to the selected rows (the
-    /// CSV path — line-oriented files have no random access).
-    /// `select[global_row]` is the row's local label when selected;
-    /// `remaining` counts selected rows not yet yielded, so a file that
-    /// shrank after validation surfaces as a typed error instead of a
-    /// silently smaller split.
-    Forward {
-        reader: ChunkReader,
-        select: Vec<Option<usize>>,
-        remaining: usize,
-        path: PathBuf,
-    },
-    /// Seek-coalesced gather in explicit index order (`.zsb`): only the
-    /// selected byte ranges are read, so a sparse split over a huge file
-    /// skips the rest entirely. `labels[position]` pairs with the index list
-    /// handed to the reader.
-    Indexed {
-        reader: ZsbChunkReader,
-        labels: Vec<usize>,
-    },
+struct SplitStreamInner {
+    /// Seek-coalesced gather in explicit index order: only the selected byte
+    /// ranges (`.zsb`) or lines (CSV, via [`CsvLineIndex`]) are read, so a
+    /// sparse split over a huge file skips the rest entirely — an ascending
+    /// dense split degenerates to one long sequential run.
+    reader: IndexedReader,
+    /// `labels[position]` pairs with the index list handed to the reader.
+    labels: Vec<usize>,
+}
+
+/// Format-erased indexed chunk reader, so shuffled/subset split streams work
+/// over either on-disk representation.
+#[derive(Debug)]
+pub enum IndexedReader {
+    /// Seek-coalesced binary reads.
+    Zsb(ZsbChunkReader),
+    /// Line-index-backed CSV reads.
+    Csv(CsvIndexedReader),
+}
+
+impl Iterator for IndexedReader {
+    type Item = Result<FeatureChunk, DataError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            IndexedReader::Zsb(r) => r.next(),
+            IndexedReader::Csv(r) => r.next(),
+        }
+    }
 }
 
 impl Iterator for SplitStream {
@@ -574,70 +808,14 @@ impl Iterator for SplitStream {
 
 impl SplitStream {
     fn next_inner(&mut self) -> Option<<Self as Iterator>::Item> {
-        match &mut self.inner {
-            SplitStreamInner::Forward {
-                reader,
-                select,
-                remaining,
-                path,
-            } => loop {
-                let Some(chunk) = reader.next() else {
-                    // The file ended. Every selected row must have streamed;
-                    // a nonzero remainder means the file shrank after the
-                    // bundle was validated (the .zsb reader catches this via
-                    // its length checks, but a line-oriented CSV just ends).
-                    if *remaining > 0 {
-                        let missing = std::mem::take(remaining);
-                        return Some(Err(DataError::Shape {
-                            message: format!(
-                                "{}: feature table ended with {missing} selected rows \
-                                 missing — the file shrank after the bundle was validated",
-                                path.display()
-                            ),
-                        }));
-                    }
-                    return None;
-                };
-                let chunk = match chunk {
-                    Ok(chunk) => chunk,
-                    Err(e) => return Some(Err(e)),
-                };
-                let d = chunk.features.cols();
-                let mut data = Vec::new();
-                let mut labels = Vec::new();
-                for r in 0..chunk.features.rows() {
-                    let g = chunk.start_row + r;
-                    let Some(slot) = select.get(g) else {
-                        return Some(Err(DataError::Shape {
-                            message: format!(
-                                "feature table row {g} appeared but the bundle was \
-                                 validated with only {} samples (file changed?)",
-                                select.len()
-                            ),
-                        }));
-                    };
-                    if let Some(label) = slot {
-                        data.extend_from_slice(chunk.features.row(r));
-                        labels.push(*label);
-                    }
-                }
-                if labels.is_empty() {
-                    continue; // no selected rows in this chunk; keep scanning
-                }
-                let rows = labels.len();
-                *remaining -= rows;
-                return Some(Ok((Matrix::from_vec(rows, d, data), labels)));
-            },
-            SplitStreamInner::Indexed { reader, labels } => {
-                let chunk = match reader.next()? {
-                    Ok(chunk) => chunk,
-                    Err(e) => return Some(Err(e)),
-                };
-                let rows = chunk.features.rows();
-                let local = labels[chunk.start_row..chunk.start_row + rows].to_vec();
-                Some(Ok((chunk.features, local)))
-            }
-        }
+        let SplitStreamInner { reader, labels } = &mut self.inner;
+        let chunk = match reader.next()? {
+            Ok(chunk) => chunk,
+            Err(e) => return Some(Err(e)),
+        };
+        let rows = chunk.features.rows();
+        let local = labels[chunk.start_row..chunk.start_row + rows].to_vec();
+        Some(Ok((chunk.features, local)))
     }
 }
 
@@ -665,6 +843,11 @@ pub struct StreamingBundle {
     num_samples: usize,
     feature_dim: usize,
     plan: SplitPlan,
+    /// Data-row byte offsets of a CSV feature table, built for free during
+    /// the open-time validation scan; `None` for `.zsb` (which seeks by
+    /// arithmetic). This is what lets shuffled manifests and CV folds stream
+    /// from CSV bundles.
+    csv_index: Option<CsvLineIndex>,
 }
 
 impl StreamingBundle {
@@ -685,22 +868,19 @@ impl StreamingBundle {
         let (signatures, class_map) = super::loader::load_signature_table(dir)?;
 
         let features_path = dir.join(format.file_name());
-        let (raw_labels, feature_dim) = match format {
+        let (raw_labels, feature_dim, csv_index) = match format {
             FeatureFormat::Zsb => {
                 let reader = ZsbChunkReader::open(&features_path, chunk_rows)?;
-                (reader.labels().to_vec(), reader.feature_dim())
+                (reader.labels().to_vec(), reader.feature_dim(), None)
             }
             FeatureFormat::Csv => {
                 // CSV has no header: one bounded-memory validation scan
-                // collects labels, establishes the row width, and surfaces
-                // any parse error before training starts.
-                let mut labels = Vec::new();
-                let mut reader = CsvChunkReader::open(&features_path, chunk_rows)?;
-                for chunk in &mut reader {
-                    labels.extend_from_slice(&chunk?.labels);
-                }
-                let cols = reader.cols().expect("a non-empty table sets cols");
-                (labels, cols)
+                // collects labels, establishes the row width, surfaces any
+                // parse error before training starts — and records each data
+                // row's byte offset, giving indexed (shuffled) reads on a
+                // line-oriented file for free.
+                let (labels, index) = CsvLineIndex::build(&features_path)?;
+                (labels, index.cols(), Some(index))
             }
         };
         let num_samples = raw_labels.len();
@@ -720,6 +900,7 @@ impl StreamingBundle {
             num_samples,
             feature_dim,
             plan,
+            csv_index,
         })
     }
 
@@ -845,54 +1026,46 @@ impl StreamingBundle {
     /// Core row streamer: yield the given global rows, in order, paired with
     /// `rank(dense_class)` labels.
     ///
-    /// `.zsb` bundles always go through the seek-coalesced indexed reader —
-    /// only the selected byte ranges are read, so a sparse split over a huge
-    /// file skips the rest (a fully contiguous split degenerates to one
-    /// sequential read). CSV has no random access: ascending lists stream as
-    /// a forward filtered scan; non-ascending lists are a typed
-    /// [`DataError::Split`] telling the operator to re-export as `.zsb`.
-    /// Either way the rows arrive in exactly the given order, which is what
-    /// keeps streamed training bit-identical to the in-memory gather.
+    /// Both formats go through a seek-coalesced indexed reader — byte-range
+    /// arithmetic for `.zsb`, the [`CsvLineIndex`] built at open for CSV — so
+    /// only the selected rows are read: a sparse split over a huge file skips
+    /// the rest entirely, and a fully contiguous (ascending) split
+    /// degenerates to one sequential read. Rows arrive in exactly the given
+    /// order, which is what keeps streamed training bit-identical to the
+    /// in-memory gather.
     fn stream_rows<F>(&self, indices: &[usize], rank: F) -> Result<SplitStream, DataError>
     where
         F: Fn(usize) -> usize,
     {
         let features_path = self.dir.join(self.format.file_name());
-        match self.format {
+        let labels: Vec<usize> = indices.iter().map(|&g| rank(self.labels[g])).collect();
+        let reader = match self.format {
             FeatureFormat::Zsb => {
-                let labels: Vec<usize> = indices.iter().map(|&g| rank(self.labels[g])).collect();
                 // Trusted open: the label block was validated when this
                 // bundle opened; re-reading it on every pass would cost
                 // O(n log n) per stream for nothing.
-                let reader =
-                    ZsbChunkReader::open_indexed_trusted(&features_path, indices, self.chunk_rows)?;
-                Ok(SplitStream {
-                    inner: SplitStreamInner::Indexed { reader, labels },
-                    failed: false,
-                })
+                IndexedReader::Zsb(ZsbChunkReader::open_indexed_trusted(
+                    &features_path,
+                    indices,
+                    self.chunk_rows,
+                )?)
             }
-            FeatureFormat::Csv if indices.windows(2).all(|w| w[0] < w[1]) => {
-                let mut select: Vec<Option<usize>> = vec![None; self.num_samples];
-                for &g in indices {
-                    select[g] = Some(rank(self.labels[g]));
-                }
-                let reader = ChunkReader::open(&features_path, self.format, self.chunk_rows)?;
-                Ok(SplitStream {
-                    inner: SplitStreamInner::Forward {
-                        reader,
-                        select,
-                        remaining: indices.len(),
-                        path: features_path,
-                    },
-                    failed: false,
-                })
+            FeatureFormat::Csv => {
+                let index = self
+                    .csv_index
+                    .as_ref()
+                    .expect("CSV bundles build a line index at open");
+                IndexedReader::Csv(CsvIndexedReader::open(
+                    &features_path,
+                    index,
+                    indices,
+                    self.chunk_rows,
+                )?)
             }
-            FeatureFormat::Csv => Err(DataError::Split {
-                message: "streaming rows of a CSV bundle in non-ascending order needs \
-                          random access, which a line-oriented file cannot offer; \
-                          re-export the bundle as features.zsb"
-                    .into(),
-            }),
-        }
+        };
+        Ok(SplitStream {
+            inner: SplitStreamInner { reader, labels },
+            failed: false,
+        })
     }
 }

@@ -1,0 +1,139 @@
+//! The crate-level error type of the unified pipeline API.
+//!
+//! Before PR 5 every subsystem surfaced its own error enum — [`DataError`]
+//! from the loaders, [`TrainError`] from the trainers, [`EvalError`] from the
+//! evaluation harness, [`LinalgError`] from the factorizations — and callers
+//! gluing stages together had to thread a different error type through each
+//! seam. The generic entry points ([`crate::eval::evaluate_gzsl`],
+//! [`crate::eval::cross_validate`], [`crate::model::EszslTrainer::fit`], the
+//! [`crate::pipeline::Pipeline`] facade, and the `.zsm` model artifacts) all
+//! return one [`ZslError`] instead.
+//!
+//! Every variant that wraps an inner error reports it through
+//! [`std::error::Error::source`], so `anyhow`-style chain printers and
+//! `error.source()` walks see the full causal chain.
+
+use crate::data::DataError;
+use crate::eval::EvalError;
+use crate::linalg::LinalgError;
+use crate::model::TrainError;
+
+/// Unified error of the pipeline API: everything that can go wrong between
+/// opening a [`crate::source::FeatureSource`] and producing a
+/// [`crate::eval::GzslReport`] or a saved `.zsm` artifact.
+#[derive(Debug)]
+pub enum ZslError {
+    /// Reading, writing, or validating on-disk data (dataset bundles, feature
+    /// streams, `.zsm` model artifacts) failed.
+    Data(DataError),
+    /// Model training failed (bad shapes, labels, regularizers, or an
+    /// unfactorable Gram matrix).
+    Train(TrainError),
+    /// A dense factorization or solve failed outside the training path.
+    Linalg(LinalgError),
+    /// The pipeline or evaluation configuration is unusable (bad fold count,
+    /// empty grid, mismatched signature bank, ...).
+    Config(String),
+}
+
+impl std::fmt::Display for ZslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZslError::Data(e) => write!(f, "data error: {e}"),
+            ZslError::Train(e) => write!(f, "training error: {e}"),
+            ZslError::Linalg(e) => write!(f, "linear-algebra error: {e}"),
+            ZslError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ZslError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ZslError::Data(e) => Some(e),
+            ZslError::Train(e) => Some(e),
+            ZslError::Linalg(e) => Some(e),
+            ZslError::Config(_) => None,
+        }
+    }
+}
+
+impl From<DataError> for ZslError {
+    fn from(e: DataError) -> Self {
+        ZslError::Data(e)
+    }
+}
+
+impl From<TrainError> for ZslError {
+    fn from(e: TrainError) -> Self {
+        ZslError::Train(e)
+    }
+}
+
+impl From<LinalgError> for ZslError {
+    fn from(e: LinalgError) -> Self {
+        ZslError::Linalg(e)
+    }
+}
+
+/// Flattening conversion: an [`EvalError`] that merely wrapped a train or
+/// data failure becomes the corresponding top-level variant, so matching on a
+/// [`ZslError`] never has to look through two layers of wrappers.
+impl From<EvalError> for ZslError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::InvalidConfig(msg) => ZslError::Config(msg),
+            EvalError::Train(e) => ZslError::Train(e),
+            EvalError::Data(e) => ZslError::Data(e),
+        }
+    }
+}
+
+/// Inverse mapping used by the deprecated `*_stream` compatibility wrappers,
+/// which keep their original `Result<_, EvalError>` signatures. A
+/// [`ZslError::Linalg`] folds into [`TrainError::Solver`] — the only place
+/// the old API could surface a factorization failure.
+impl From<ZslError> for EvalError {
+    fn from(e: ZslError) -> Self {
+        match e {
+            ZslError::Data(e) => EvalError::Data(e),
+            ZslError::Train(e) => EvalError::Train(e),
+            ZslError::Linalg(e) => EvalError::Train(TrainError::Solver(e)),
+            ZslError::Config(msg) => EvalError::InvalidConfig(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn source_chains_reach_the_innermost_error() {
+        let inner = LinalgError::NotPositiveDefinite { pivot_index: 3 };
+        let train = TrainError::Solver(inner.clone());
+        let top = ZslError::from(train);
+        // ZslError -> TrainError -> LinalgError.
+        let level1 = top.source().expect("train source");
+        assert!(level1.to_string().contains("solver"));
+        let level2 = level1.source().expect("linalg source");
+        assert!(level2.to_string().contains("positive-definite"));
+        assert!(level2.source().is_none());
+    }
+
+    #[test]
+    fn eval_errors_flatten_into_top_level_variants() {
+        let e = ZslError::from(EvalError::Train(TrainError::InvalidConfig("x".into())));
+        assert!(matches!(e, ZslError::Train(TrainError::InvalidConfig(_))));
+        let e = ZslError::from(EvalError::InvalidConfig("bad folds".into()));
+        assert!(matches!(e, ZslError::Config(msg) if msg == "bad folds"));
+        // Round trip back to the legacy type for the deprecated wrappers.
+        let legacy = EvalError::from(ZslError::Config("bad folds".into()));
+        assert!(matches!(legacy, EvalError::InvalidConfig(_)));
+        let legacy = EvalError::from(ZslError::Linalg(LinalgError::NotPositiveDefinite {
+            pivot_index: 0,
+        }));
+        assert!(matches!(legacy, EvalError::Train(TrainError::Solver(_))));
+    }
+}

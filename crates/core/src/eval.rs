@@ -1,36 +1,44 @@
 //! Evaluation harness: generalized zero-shot reports and seeded k-fold
-//! hyperparameter selection.
+//! hyperparameter selection, generic over any [`FeatureSource`].
 //!
 //! Two layers:
 //!
-//! 1. [`evaluate_gzsl`] runs the standard GZSL protocol on a [`Dataset`]:
-//!    both test splits are scored against the *union* signature bank through
-//!    the cached [`ScoringEngine`], and the result is a [`GzslReport`] —
-//!    seen accuracy, unseen accuracy, their harmonic mean, and per-class
-//!    breakdowns. Scores are bit-identical for every thread count.
+//! 1. [`evaluate_gzsl`] runs the standard GZSL protocol on any source:
+//!    both test splits are streamed chunk-at-a-time against the *union*
+//!    signature bank through the cached [`ScoringEngine`], and the result is
+//!    a [`GzslReport`] — seen accuracy, unseen accuracy, their harmonic mean,
+//!    and per-class breakdowns. [`evaluate_gzsl_with`] is the serving-path
+//!    variant that takes an already-built (e.g. `.zsm`-loaded) engine.
 //! 2. [`cross_validate`] selects `(γ, λ)` **before** the unseen evaluation:
-//!    a seeded k-fold split of the seen-class training data, a grid sweep
-//!    reusing one [`EszslProblem`] per fold (the Gram matrices are paid once
+//!    a seeded k-fold split of the source's trainval samples, a grid sweep
+//!    reusing one [`crate::model::EszslProblem`] per fold (the Gram matrices are paid once
 //!    per fold, not once per grid point), and mean per-class validation
 //!    accuracy per grid point. Fully deterministic for a fixed seed.
 //!
 //! [`select_train_evaluate`] chains the two: cross-validate on trainval,
 //! retrain with the winning pair, report GZSL numbers.
 //!
-//! Every entry point has an out-of-core twin ([`evaluate_gzsl_stream`],
-//! [`cross_validate_stream`], [`select_train_evaluate_stream`]) that runs the
-//! identical protocol over a [`StreamingBundle`] — features are read
-//! chunk-at-a-time from disk and the reports are **bit-identical** to the
-//! in-memory ones, which `tests/streaming_equiv.rs` pins.
+//! Every entry point is ONE generic function over [`FeatureSource`]: a
+//! materialized [`crate::data::Dataset`] lends its matrices as single borrowed chunks, a
+//! [`crate::data::StreamingBundle`] reads features chunk-at-a-time from disk
+//! with peak feature memory `O(chunk_rows x feature_dim)`, and a
+//! [`crate::source::MemorySource`] wraps bare matrices. Because every source
+//! flows through the same fold/score/count code path — integral accuracy
+//! counting, ascending-row Gram folds — reports are **bit-identical** across
+//! sources and chunk sizes, which `tests/streaming_equiv.rs` pins. The old
+//! `*_stream` twins survive as `#[deprecated]` one-line wrappers.
 
-use crate::data::{DataError, Dataset, FeatureFormat, Rng, StreamingBundle};
-use crate::infer::{
-    harmonic_mean, mean_defined, mean_per_class_accuracy, per_class_accuracy, ClassAccuracyCounter,
-    ScoringEngine, Similarity,
-};
-use crate::model::{EszslConfig, EszslProblem, ProjectionModel, TrainError};
+use crate::data::{DataError, Rng, StreamingBundle};
+use crate::error::ZslError;
+use crate::infer::{harmonic_mean, mean_defined, ClassAccuracyCounter, ScoringEngine, Similarity};
+use crate::model::{EszslConfig, GramAccumulator, ProjectionModel, TrainError};
+use crate::source::{FeatureSource, SplitKind};
 
 /// Error from the evaluation harness.
+///
+/// Retained for the deprecated `*_stream` compatibility wrappers; the
+/// generic entry points return the top-level [`ZslError`] instead (which
+/// flattens this type via `From`).
 #[derive(Debug)]
 pub enum EvalError {
     /// The cross-validation configuration is unusable (bad fold count, empty
@@ -102,40 +110,89 @@ impl std::fmt::Display for GzslReport {
     }
 }
 
-/// Run the generalized ZSL protocol: score both test splits of `ds` against
-/// the union of seen and unseen signatures and summarize as a [`GzslReport`].
+/// Run the generalized ZSL protocol: score both test splits of `source`
+/// against the union of seen and unseen signatures and summarize as a
+/// [`GzslReport`].
 ///
 /// Unseen truth labels are offset by the seen-class count to index the union
 /// bank; a seen sample predicted as any unseen class (or vice versa) counts
-/// as an error, exactly as in the reference ESZSL evaluation.
-pub fn evaluate_gzsl(model: &ProjectionModel, ds: &Dataset, similarity: Similarity) -> GzslReport {
-    let num_seen = ds.seen_signatures.rows();
-    let num_unseen = ds.unseen_signatures.rows();
+/// as an error, exactly as in the reference ESZSL evaluation. The report is
+/// **bit-identical** for every source kind, chunk size, and thread count.
+pub fn evaluate_gzsl<S: FeatureSource + ?Sized>(
+    model: &ProjectionModel,
+    source: &S,
+    similarity: Similarity,
+) -> Result<GzslReport, ZslError> {
+    let engine = ScoringEngine::new(model.clone(), source.union_signatures(), similarity);
+    evaluate_gzsl_with(&engine, source)
+}
+
+/// [`evaluate_gzsl`] with an already-built engine — the serving path: an
+/// engine reloaded from a `.zsm` artifact ([`ScoringEngine::load`]) evaluates
+/// a source without ever touching training data or re-solving the closed
+/// form.
+///
+/// The engine's bank must be the source's union bank (seen then unseen, rank
+/// order): the check is bit-exact — the source's union signatures, prepared
+/// the way the engine prepares its bank (L2-normalized for cosine), must
+/// equal the engine's cached bank. This catches not just class-count
+/// mismatches but also a *different seen/unseen partition with the same
+/// total*, which would silently misattribute every per-class accuracy. A
+/// mismatch, like a feature-width mismatch between the source's chunks and
+/// the engine's projection, is a typed [`ZslError::Config`] — serving inputs
+/// never panic.
+pub fn evaluate_gzsl_with<S: FeatureSource + ?Sized>(
+    engine: &ScoringEngine,
+    source: &S,
+) -> Result<GzslReport, ZslError> {
+    let num_seen = source.num_seen_classes();
+    let num_unseen = source.num_unseen_classes();
     let total = num_seen + num_unseen;
-    let engine = ScoringEngine::new(model.clone(), ds.all_signatures(), similarity);
+    if engine.num_classes() != total {
+        return Err(ZslError::Config(format!(
+            "engine scores {} classes but the source has {num_seen} seen + {num_unseen} unseen; \
+             the engine must be built over the source's union signature bank",
+            engine.num_classes()
+        )));
+    }
+    let mut expected_bank = source.union_signatures();
+    if engine.similarity() == Similarity::Cosine {
+        expected_bank.l2_normalize_rows();
+    }
+    if expected_bank.as_slice() != engine.signatures().as_slice() {
+        return Err(ZslError::Config(format!(
+            "engine signature bank does not match the source's union bank \
+             ({num_seen} seen + {num_unseen} unseen classes): the model was built over \
+             different class signatures or a different seen/unseen partition"
+        )));
+    }
 
-    let seen_pred = engine.predict(&ds.test_seen_x);
-    let per_class_seen =
-        per_class_accuracy(&seen_pred, &ds.test_seen_labels, total)[..num_seen].to_vec();
+    let mut counter = ClassAccuracyCounter::new(total);
+    for chunk in source.stream(SplitKind::TestSeen)? {
+        let (x, labels) = chunk?;
+        engine.check_feature_width(x.cols())?;
+        counter.observe(&engine.predict(&x), &labels);
+    }
+    for chunk in source.stream(SplitKind::TestUnseen)? {
+        let (x, labels) = chunk?;
+        engine.check_feature_width(x.cols())?;
+        // Unseen truth indexes the union bank after the seen block.
+        let truth: Vec<usize> = labels.iter().map(|&l| l + num_seen).collect();
+        counter.observe(&engine.predict(&x), &truth);
+    }
 
-    let unseen_pred = engine.predict(&ds.test_unseen_x);
-    let unseen_truth: Vec<usize> = ds
-        .test_unseen_labels
-        .iter()
-        .map(|&l| l + num_seen)
-        .collect();
-    let per_class_unseen =
-        per_class_accuracy(&unseen_pred, &unseen_truth, total)[num_seen..].to_vec();
-
+    let per_class = counter.per_class();
+    let per_class_seen = per_class[..num_seen].to_vec();
+    let per_class_unseen = per_class[num_seen..].to_vec();
     let seen_accuracy = mean_defined(&per_class_seen);
     let unseen_accuracy = mean_defined(&per_class_unseen);
-    GzslReport {
+    Ok(GzslReport {
         seen_accuracy,
         unseen_accuracy,
         harmonic_mean: harmonic_mean(seen_accuracy, unseen_accuracy),
         per_class_seen,
         per_class_unseen,
-    }
+    })
 }
 
 /// Builder-style configuration for [`cross_validate`].
@@ -151,6 +208,15 @@ pub struct CrossValConfig {
     pub seed: u64,
     /// Similarity used for validation scoring.
     pub similarity: Similarity,
+    /// L2-normalize training feature rows inside each fold — set this to
+    /// match the [`EszslConfig`] the winning `(γ, λ)` will be fitted with,
+    /// so the sweep selects hyperparameters for the model actually trained.
+    /// [`crate::pipeline::Pipeline::cross_validate`] wires this up
+    /// automatically.
+    pub normalize_features: bool,
+    /// L2-normalize signature rows inside each fold's training problem
+    /// (mirroring [`EszslConfig::normalize_signatures`]).
+    pub normalize_signatures: bool,
 }
 
 impl Default for CrossValConfig {
@@ -164,6 +230,8 @@ impl Default for CrossValConfig {
             folds: 3,
             seed: 0x5EED,
             similarity: Similarity::Cosine,
+            normalize_features: false,
+            normalize_signatures: false,
         }
     }
 }
@@ -203,6 +271,19 @@ impl CrossValConfig {
         self.similarity = similarity;
         self
     }
+
+    /// Toggle L2 normalization of training feature rows inside each fold.
+    pub fn normalize_features(mut self, on: bool) -> Self {
+        self.normalize_features = on;
+        self
+    }
+
+    /// Toggle L2 normalization of signature rows inside each fold's training
+    /// problem.
+    pub fn normalize_signatures(mut self, on: bool) -> Self {
+        self.normalize_signatures = on;
+        self
+    }
 }
 
 /// One `(γ, λ)` grid point's cross-validation outcome.
@@ -230,37 +311,35 @@ pub struct CrossValReport {
     pub folds: usize,
 }
 
-/// Seeded k-fold cross-validated grid search over `(γ, λ)` on seen-class
-/// training data.
+/// Seeded k-fold cross-validated grid search over `(γ, λ)` on the trainval
+/// split of any [`FeatureSource`].
 ///
-/// Sample indices are shuffled once with [`Rng`] (Fisher–Yates, seeded by
+/// Sample positions are shuffled once with [`Rng`] (Fisher–Yates, seeded by
 /// `config.seed`) and cut into `k` contiguous folds. For each fold, one
-/// [`EszslProblem`] is built from the other `k−1` folds and solved for every
-/// grid point; the held-out fold is scored against the full seen-class
+/// [`crate::model::EszslProblem`] is folded from the other `k−1` folds' chunks
+/// ([`GramAccumulator`] — the Gram matrices are paid once per fold), every
+/// grid point is solved up front, and the held-out fold's rows stream ONCE
+/// past *all* grid-point engines, scored against the full seen-class
 /// signature bank and summarized as mean per-class accuracy. Identical
-/// configuration + seed ⇒ identical report, regardless of thread count.
-pub fn cross_validate(
-    x: &crate::linalg::Matrix,
-    labels: &[usize],
-    signatures: &crate::linalg::Matrix,
+/// configuration + seed ⇒ identical report, regardless of source kind, chunk
+/// size, or thread count.
+///
+/// To sweep bare matrices (the pre-PR 5 four-argument form), wrap them in a
+/// [`crate::source::MemorySource`].
+pub fn cross_validate<S: FeatureSource + ?Sized>(
+    source: &S,
     config: &CrossValConfig,
-) -> Result<CrossValReport, EvalError> {
-    let n = x.rows();
+) -> Result<CrossValReport, ZslError> {
+    let n = source.trainval_len();
     validate_cv_shape(config, n)?;
-    if x.rows() != labels.len() {
-        return Err(EvalError::Train(TrainError::Shape(format!(
-            "{} feature rows but {} labels",
-            x.rows(),
-            labels.len()
-        ))));
-    }
 
+    let signatures = source.seen_signatures().into_owned();
+    let z = signatures.rows();
     let mut order: Vec<usize> = (0..n).collect();
     Rng::new(config.seed).shuffle(&mut order);
 
     let num_points = config.gammas.len() * config.lambdas.len();
     let mut fold_accuracies = vec![Vec::with_capacity(config.folds); num_points];
-    let z = signatures.rows();
 
     for fold in 0..config.folds {
         // Contiguous slice of the shuffled order; balanced to within one
@@ -270,46 +349,64 @@ pub fn cross_validate(
         let val_idx = &order[lo..hi];
         let train_idx: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
 
-        let train_x = x.gather_rows(&train_idx);
-        let train_labels: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
-        let val_x = x.gather_rows(val_idx);
-        let val_labels: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
+        // Gram matrices once per fold, folded from the training chunks with
+        // the same normalization the final fit will apply.
+        let mut acc = GramAccumulator::with_normalization(
+            &signatures,
+            config.normalize_features,
+            config.normalize_signatures,
+        );
+        for chunk in source.stream_trainval_subset(&train_idx)? {
+            let (x, labels) = chunk?;
+            acc.fold(&x, &labels)?;
+        }
+        let problem = acc.finish().map_err(ZslError::from)?;
 
-        // Gram matrices once per fold; each grid point only re-solves.
-        let problem = EszslProblem::new(&train_x, &train_labels, signatures)?;
-        let mut point = 0;
+        // Solve every grid point up front (each model is only d x a), then
+        // stream the fold's validation rows ONCE past all engines.
+        let mut engines = Vec::with_capacity(num_points);
+        let mut counters = Vec::with_capacity(num_points);
         for &gamma in &config.gammas {
             for &lambda in &config.lambdas {
                 let model = problem.solve(gamma, lambda)?;
-                let engine = ScoringEngine::new(model, signatures.clone(), config.similarity);
-                let pred = engine.predict(&val_x);
-                let acc = mean_per_class_accuracy(&pred, &val_labels, z);
-                fold_accuracies[point].push(acc);
-                point += 1;
+                engines.push(ScoringEngine::new(
+                    model,
+                    signatures.clone(),
+                    config.similarity,
+                ));
+                counters.push(ClassAccuracyCounter::new(z));
             }
+        }
+        for chunk in source.stream_trainval_subset(val_idx)? {
+            let (x, labels) = chunk?;
+            for (engine, counter) in engines.iter().zip(&mut counters) {
+                counter.observe(&engine.predict(&x), &labels);
+            }
+        }
+        for (point, counter) in counters.iter().enumerate() {
+            fold_accuracies[point].push(counter.mean());
         }
     }
 
     Ok(assemble_cross_val_report(config, fold_accuracies))
 }
 
-/// Shared [`cross_validate`] / [`cross_validate_stream`] configuration
-/// checks.
-fn validate_cv_shape(config: &CrossValConfig, n: usize) -> Result<(), EvalError> {
+/// Shared configuration checks for the cross-validation sweep.
+fn validate_cv_shape(config: &CrossValConfig, n: usize) -> Result<(), ZslError> {
     if config.folds < 2 {
-        return Err(EvalError::InvalidConfig(format!(
+        return Err(ZslError::Config(format!(
             "need at least 2 folds, got {}",
             config.folds
         )));
     }
     if n < config.folds {
-        return Err(EvalError::InvalidConfig(format!(
+        return Err(ZslError::Config(format!(
             "{n} samples cannot be split into {} folds",
             config.folds
         )));
     }
     if config.gammas.is_empty() || config.lambdas.is_empty() {
-        return Err(EvalError::InvalidConfig(
+        return Err(ZslError::Config(
             "gamma and lambda grids must be non-empty".into(),
         ));
     }
@@ -317,8 +414,8 @@ fn validate_cv_shape(config: &CrossValConfig, n: usize) -> Result<(), EvalError>
 }
 
 /// Assemble the grid + winner from per-point fold accuracies. One code path
-/// for the in-memory and streamed sweeps keeps their reports bit-identical
-/// (same summation order, same tie-break).
+/// for every source kind keeps reports bit-identical (same summation order,
+/// same tie-break).
 fn assemble_cross_val_report(
     config: &CrossValConfig,
     mut fold_accuracies: Vec<Vec<f64>>,
@@ -362,175 +459,80 @@ fn assemble_cross_val_report(
     }
 }
 
-/// The full experiment protocol: cross-validate `(γ, λ)` on the trainval
-/// split, retrain on all of it with the winner, and evaluate GZSL.
+/// The full experiment protocol over any [`FeatureSource`]: cross-validate
+/// `(γ, λ)` on the trainval split, retrain on all of it with the winner, and
+/// evaluate GZSL.
 ///
-/// This is the path the `eval_dataset` example drives, and the one the
-/// round-trip acceptance test pins: the same `ds` always yields the same
-/// `(CrossValReport, GzslReport)` pair for a fixed config.
-pub fn select_train_evaluate(
-    ds: &Dataset,
+/// This is the path the [`crate::pipeline::Pipeline`] facade and the
+/// `eval_dataset` example drive, and the one the round-trip acceptance test
+/// pins: the same source always yields the same
+/// `(CrossValReport, GzslReport)` pair for a fixed config — bit-identical
+/// whether the source is materialized or streamed from disk.
+pub fn select_train_evaluate<S: FeatureSource + ?Sized>(
+    source: &S,
     config: &CrossValConfig,
-) -> Result<(CrossValReport, GzslReport), EvalError> {
-    let cv = cross_validate(&ds.train_x, &ds.train_labels, &ds.seen_signatures, config)?;
+) -> Result<(CrossValReport, GzslReport), ZslError> {
+    let cv = cross_validate(source, config)?;
+    // The final fit applies the same normalization the sweep selected under.
     let model = EszslConfig::new()
         .gamma(cv.best.gamma)
         .lambda(cv.best.lambda)
+        .normalize_features(config.normalize_features)
+        .normalize_signatures(config.normalize_signatures)
         .build()
-        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)?;
-    let report = evaluate_gzsl(&model, ds, config.similarity);
+        .fit(source)?;
+    let report = evaluate_gzsl(&model, source, config.similarity)?;
     Ok((cv, report))
 }
 
-/// Out-of-core [`evaluate_gzsl`]: run the generalized protocol over a
-/// [`StreamingBundle`], scoring both test splits chunk-at-a-time against the
-/// union signature bank.
-///
-/// Predictions are row-local and accuracy counting is integral, so the
-/// resulting [`GzslReport`] is **bit-identical** to materializing the bundle
-/// with [`crate::data::DatasetBundle::to_dataset`] and calling
-/// [`evaluate_gzsl`] — for every chunk size. Peak feature memory is one
-/// chunk.
+/// Out-of-core [`evaluate_gzsl`] — superseded: [`StreamingBundle`] implements
+/// [`FeatureSource`], so the generic entry point covers this case.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the generic `evaluate_gzsl` — `StreamingBundle` implements `FeatureSource`"
+)]
 pub fn evaluate_gzsl_stream(
     model: &ProjectionModel,
     bundle: &StreamingBundle,
     similarity: Similarity,
 ) -> Result<GzslReport, EvalError> {
-    let num_seen = bundle.num_seen_classes();
-    let num_unseen = bundle.num_unseen_classes();
-    let total = num_seen + num_unseen;
-    let engine = ScoringEngine::new(model.clone(), bundle.union_signatures(), similarity);
-
-    let mut counter = ClassAccuracyCounter::new(total);
-    for chunk in bundle.stream_test_seen()? {
-        let (x, labels) = chunk?;
-        counter.observe(&engine.predict(&x), &labels);
-    }
-    for chunk in bundle.stream_test_unseen()? {
-        let (x, labels) = chunk?;
-        // Unseen truth indexes the union bank after the seen block.
-        let truth: Vec<usize> = labels.iter().map(|&l| l + num_seen).collect();
-        counter.observe(&engine.predict(&x), &truth);
-    }
-
-    let per_class = counter.per_class();
-    let per_class_seen = per_class[..num_seen].to_vec();
-    let per_class_unseen = per_class[num_seen..].to_vec();
-    let seen_accuracy = mean_defined(&per_class_seen);
-    let unseen_accuracy = mean_defined(&per_class_unseen);
-    Ok(GzslReport {
-        seen_accuracy,
-        unseen_accuracy,
-        harmonic_mean: harmonic_mean(seen_accuracy, unseen_accuracy),
-        per_class_seen,
-        per_class_unseen,
-    })
+    evaluate_gzsl(model, bundle, similarity).map_err(EvalError::from)
 }
 
-/// Out-of-core [`cross_validate`] over a [`StreamingBundle`]'s trainval
-/// split: the same seeded shuffle, fold geometry, grid sweep, and scoring —
-/// but each fold's Gram matrices are folded from streamed chunks
-/// ([`EszslProblem::from_stream`]) and each fold's validation rows are
-/// streamed once past *all* grid-point engines, so no fold ever exists as a
-/// matrix in memory.
-///
-/// The report is **bit-identical** to running [`cross_validate`] on the
-/// materialized trainval split. Shuffled folds need random row access, which
-/// only the binary format offers: a CSV bundle is a typed
-/// [`EvalError::InvalidConfig`] suggesting re-export as `.zsb`.
+/// Out-of-core [`cross_validate`] — superseded: [`StreamingBundle`]
+/// implements [`FeatureSource`], so the generic entry point covers this case
+/// (and, since PR 5's CSV line index, CSV bundles too).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the generic `cross_validate` — `StreamingBundle` implements `FeatureSource`"
+)]
 pub fn cross_validate_stream(
     bundle: &StreamingBundle,
     config: &CrossValConfig,
 ) -> Result<CrossValReport, EvalError> {
-    if bundle.format() == FeatureFormat::Csv {
-        return Err(EvalError::InvalidConfig(
-            "cross-validation over a streamed CSV bundle needs random row access for \
-             shuffled folds; re-export the bundle as features.zsb"
-                .into(),
-        ));
-    }
-    let n = bundle.manifest().trainval.len();
-    validate_cv_shape(config, n)?;
-
-    let signatures = bundle.seen_signatures();
-    let mut order: Vec<usize> = (0..n).collect();
-    Rng::new(config.seed).shuffle(&mut order);
-
-    let num_points = config.gammas.len() * config.lambdas.len();
-    let mut fold_accuracies = vec![Vec::with_capacity(config.folds); num_points];
-
-    for fold in 0..config.folds {
-        // Contiguous slice of the shuffled order; balanced to within one
-        // sample — identical geometry to the in-memory sweep.
-        let lo = fold * n / config.folds;
-        let hi = (fold + 1) * n / config.folds;
-        let val_idx = &order[lo..hi];
-        let train_idx: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
-
-        // Gram matrices once per fold, folded from streamed chunks.
-        let train_stream = bundle
-            .stream_trainval_subset(&train_idx)?
-            .map(|r| r.map_err(EvalError::from));
-        let problem = EszslProblem::from_stream(train_stream, &signatures)?;
-
-        // Solve every grid point up front (each model is only d x a), then
-        // stream the fold's validation rows ONCE past all engines.
-        let mut engines = Vec::with_capacity(num_points);
-        let mut counters = Vec::with_capacity(num_points);
-        for &gamma in &config.gammas {
-            for &lambda in &config.lambdas {
-                let model = problem.solve(gamma, lambda)?;
-                engines.push(ScoringEngine::new(
-                    model,
-                    signatures.clone(),
-                    config.similarity,
-                ));
-                counters.push(ClassAccuracyCounter::new(signatures.rows()));
-            }
-        }
-        for chunk in bundle.stream_trainval_subset(val_idx)? {
-            let (x, labels) = chunk?;
-            for (engine, counter) in engines.iter().zip(&mut counters) {
-                counter.observe(&engine.predict(&x), &labels);
-            }
-        }
-        for (point, counter) in counters.iter().enumerate() {
-            fold_accuracies[point].push(counter.mean());
-        }
-    }
-
-    Ok(assemble_cross_val_report(config, fold_accuracies))
+    cross_validate(bundle, config).map_err(EvalError::from)
 }
 
-/// Out-of-core [`select_train_evaluate`]: cross-validate `(γ, λ)` on the
-/// streamed trainval split, retrain on all of it with the winner (again
-/// streamed), and evaluate GZSL chunk-at-a-time.
-///
-/// Both returned reports are **bit-identical** to the in-memory protocol on
-/// the materialized bundle; peak feature memory across the whole experiment
-/// is `O(chunk_rows x feature_dim)`.
+/// Out-of-core [`select_train_evaluate`] — superseded: [`StreamingBundle`]
+/// implements [`FeatureSource`], so the generic entry point covers this case.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the generic `select_train_evaluate` — `StreamingBundle` implements \
+            `FeatureSource`"
+)]
 pub fn select_train_evaluate_stream(
     bundle: &StreamingBundle,
     config: &CrossValConfig,
 ) -> Result<(CrossValReport, GzslReport), EvalError> {
-    let cv = cross_validate_stream(bundle, config)?;
-    let signatures = bundle.seen_signatures();
-    let train_stream = bundle
-        .stream_trainval()?
-        .map(|r| r.map_err(EvalError::from));
-    let model: ProjectionModel = EszslConfig::new()
-        .gamma(cv.best.gamma)
-        .lambda(cv.best.lambda)
-        .build()
-        .train_stream(train_stream, &signatures)?;
-    let report = evaluate_gzsl_stream(&model, bundle, config.similarity)?;
-    Ok((cv, report))
+    select_train_evaluate(bundle, config).map_err(EvalError::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::data::SyntheticConfig;
+    use crate::data::{Dataset, SyntheticConfig};
+    use crate::infer::{mean_per_class_accuracy, per_class_accuracy};
+    use crate::source::MemorySource;
 
     fn trained_dataset() -> (ProjectionModel, Dataset) {
         let ds = SyntheticConfig::new().seed(99).build();
@@ -544,7 +546,7 @@ mod tests {
     #[test]
     fn gzsl_report_matches_hand_rolled_protocol() {
         let (model, ds) = trained_dataset();
-        let report = evaluate_gzsl(&model, &ds, Similarity::Cosine);
+        let report = evaluate_gzsl(&model, &ds, Similarity::Cosine).expect("evaluate");
         assert!(report.harmonic_mean >= 0.9, "hm {}", report.harmonic_mean);
         assert_eq!(report.per_class_seen.len(), ds.seen_signatures.rows());
         assert_eq!(report.per_class_unseen.len(), ds.unseen_signatures.rows());
@@ -561,6 +563,40 @@ mod tests {
             report.harmonic_mean,
             harmonic_mean(report.seen_accuracy, report.unseen_accuracy)
         );
+        // The engine-level entry produces the identical report.
+        let with_engine = evaluate_gzsl_with(&engine, &ds).expect("evaluate_with");
+        assert_eq!(with_engine, report);
+    }
+
+    #[test]
+    fn evaluate_with_rejects_a_mismatched_engine_bank() {
+        let (model, ds) = trained_dataset();
+        // Seen-only bank cannot score the GZSL union protocol.
+        let engine = ScoringEngine::new(
+            model.clone(),
+            ds.seen_signatures.clone(),
+            Similarity::Cosine,
+        );
+        assert!(matches!(
+            evaluate_gzsl_with(&engine, &ds),
+            Err(ZslError::Config(msg)) if msg.contains("union")
+        ));
+        // Same TOTAL class count but a different seen/unseen partition (the
+        // bank rows come in a different order) must also be rejected — a
+        // count-only gate would silently misattribute every accuracy.
+        let mut rotated = Vec::new();
+        let union = ds.all_signatures();
+        for r in 1..union.rows() {
+            rotated.push(union.row(r).to_vec());
+        }
+        rotated.push(union.row(0).to_vec());
+        let wrong_partition = crate::linalg::Matrix::from_rows(&rotated);
+        let engine = ScoringEngine::new(model, wrong_partition, Similarity::Cosine);
+        assert_eq!(engine.num_classes(), ds.num_classes(), "same total");
+        assert!(matches!(
+            evaluate_gzsl_with(&engine, &ds),
+            Err(ZslError::Config(msg)) if msg.contains("partition")
+        ));
     }
 
     #[test]
@@ -570,7 +606,7 @@ mod tests {
             .build()
             .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
             .expect("train");
-        let report = evaluate_gzsl(&model, &ds, Similarity::Cosine);
+        let report = evaluate_gzsl(&model, &ds, Similarity::Cosine).expect("evaluate");
         assert_eq!(report.seen_accuracy, 0.0);
         assert_eq!(report.unseen_accuracy, 0.0);
         assert_eq!(report.harmonic_mean, 0.0);
@@ -589,21 +625,17 @@ mod tests {
             .lambdas(vec![0.1, 1.0])
             .folds(3)
             .seed(404);
-        let a = cross_validate(&ds.train_x, &ds.train_labels, &ds.seen_signatures, &config)
-            .expect("cv");
-        let b = cross_validate(&ds.train_x, &ds.train_labels, &ds.seen_signatures, &config)
-            .expect("cv");
+        let source = MemorySource::new(&ds.train_x, &ds.train_labels, &ds.seen_signatures);
+        let a = cross_validate(&source, &config).expect("cv");
+        let b = cross_validate(&source, &config).expect("cv");
         assert_eq!(a, b, "same seed must reproduce the full report");
         assert_eq!(a.grid.len(), 4);
         assert!(a.grid.iter().all(|p| p.fold_accuracies.len() == 3));
+        // The Dataset source sweeps the identical trainval split.
+        let via_dataset = cross_validate(&ds, &config).expect("cv");
+        assert_eq!(via_dataset, a, "MemorySource and Dataset must agree");
         // A different shuffle may (and here does) change fold accuracies.
-        let shifted = cross_validate(
-            &ds.train_x,
-            &ds.train_labels,
-            &ds.seen_signatures,
-            &config.clone().seed(405),
-        )
-        .expect("cv");
+        let shifted = cross_validate(&source, &config.clone().seed(405)).expect("cv");
         assert_eq!(shifted.grid.len(), a.grid.len());
     }
 
@@ -611,41 +643,22 @@ mod tests {
     fn cross_validation_rejects_bad_configs() {
         let ds = SyntheticConfig::new().classes(5, 1).samples(2, 1).build();
         let base = CrossValConfig::new().gammas(vec![1.0]).lambdas(vec![1.0]);
+        let source = MemorySource::new(&ds.train_x, &ds.train_labels, &ds.seen_signatures);
         assert!(matches!(
-            cross_validate(
-                &ds.train_x,
-                &ds.train_labels,
-                &ds.seen_signatures,
-                &base.clone().folds(1)
-            ),
-            Err(EvalError::InvalidConfig(_))
+            cross_validate(&source, &base.clone().folds(1)),
+            Err(ZslError::Config(_))
         ));
         assert!(matches!(
-            cross_validate(
-                &ds.train_x,
-                &ds.train_labels,
-                &ds.seen_signatures,
-                &base.clone().folds(99)
-            ),
-            Err(EvalError::InvalidConfig(_))
+            cross_validate(&source, &base.clone().folds(99)),
+            Err(ZslError::Config(_))
         ));
         assert!(matches!(
-            cross_validate(
-                &ds.train_x,
-                &ds.train_labels,
-                &ds.seen_signatures,
-                &base.clone().gammas(vec![])
-            ),
-            Err(EvalError::InvalidConfig(_))
+            cross_validate(&source, &base.clone().gammas(vec![])),
+            Err(ZslError::Config(_))
         ));
         assert!(matches!(
-            cross_validate(
-                &ds.train_x,
-                &ds.train_labels,
-                &ds.seen_signatures,
-                &base.gammas(vec![-1.0])
-            ),
-            Err(EvalError::Train(TrainError::InvalidConfig(_)))
+            cross_validate(&source, &base.gammas(vec![-1.0])),
+            Err(ZslError::Train(TrainError::InvalidConfig(_)))
         ));
     }
 
@@ -659,8 +672,7 @@ mod tests {
             .lambdas(vec![1.0])
             .folds(3)
             .seed(7);
-        let report = cross_validate(&ds.train_x, &ds.train_labels, &ds.seen_signatures, &config)
-            .expect("cv");
+        let report = cross_validate(&ds, &config).expect("cv");
         assert_eq!(report.best.gamma, 1.0, "grid: {:?}", report.grid);
         assert!(report.best.mean_accuracy > 0.9);
     }
@@ -675,5 +687,19 @@ mod tests {
         let (cv, report) = select_train_evaluate(&ds, &config).expect("experiment");
         assert!(cv.best.mean_accuracy > 0.9);
         assert!(report.harmonic_mean > 0.9);
+    }
+
+    #[test]
+    fn per_class_mean_helpers_agree_with_counter() {
+        // Keep the one-shot metric wrappers honest against the counter the
+        // generic path uses.
+        let predicted = [0usize, 1, 1, 2];
+        let truth = [0usize, 1, 0, 2];
+        let mut counter = ClassAccuracyCounter::new(3);
+        counter.observe(&predicted, &truth);
+        assert_eq!(
+            counter.mean(),
+            mean_per_class_accuracy(&predicted, &truth, 3)
+        );
     }
 }

@@ -11,8 +11,10 @@
 //! helpers cover the standard ZSL protocol (mean per-class accuracy) and the
 //! generalized protocol (harmonic mean of seen and unseen accuracy).
 
+use crate::error::ZslError;
 use crate::linalg::{default_threads, Matrix, NORM_EPSILON};
 use crate::model::ProjectionModel;
+use crate::source::{FeatureSource, SplitKind};
 use std::cmp::Ordering;
 
 /// Rows per chunk used by [`ScoringEngine::predict`] and
@@ -125,6 +127,37 @@ impl ScoringEngine {
         }
     }
 
+    /// Reassemble an engine from an *already prepared* cached bank — the
+    /// `.zsm` artifact loader's constructor ([`ScoringEngine::load`]).
+    ///
+    /// The bank is taken exactly as given, with **no** re-normalization: a
+    /// cosine engine's bank was normalized once when the engine was first
+    /// built, and normalizing it again would divide by norms of ≈1.0 (not
+    /// exactly 1.0) and perturb the cached bits. Skipping that step is what
+    /// makes a save/load round trip reproduce predictions bit-for-bit.
+    /// Validation (non-empty, finite, width match) still runs.
+    pub(crate) fn from_cached_parts(
+        model: ProjectionModel,
+        signatures: Matrix,
+        similarity: Similarity,
+        threads: usize,
+    ) -> Self {
+        validate_signature_bank(&signatures);
+        assert_eq!(
+            model.weights().cols(),
+            signatures.cols(),
+            "model attribute dim {} != signature dim {}",
+            model.weights().cols(),
+            signatures.cols()
+        );
+        ScoringEngine {
+            model,
+            signatures,
+            similarity,
+            threads: threads.max(1),
+        }
+    }
+
     /// Number of candidate classes.
     pub fn num_classes(&self) -> usize {
         self.signatures.rows()
@@ -207,17 +240,56 @@ impl ScoringEngine {
         out
     }
 
-    /// Argmax predictions over a *stream* of feature chunks — the out-of-core
-    /// twin of [`ScoringEngine::predict`] for inputs that never exist as one
-    /// matrix (e.g. a [`crate::data::SplitStream`] over an on-disk bundle).
+    /// Guard for the `Result`-returning serving paths: a feature chunk whose
+    /// width disagrees with the projection must surface as a typed error
+    /// (e.g. a `.zsm` model served against a bundle from a different feature
+    /// space), not as the `matmul` shape assert the in-memory `predict`
+    /// reserves for programming errors.
+    pub(crate) fn check_feature_width(&self, cols: usize) -> Result<(), ZslError> {
+        let d = self.model.weights().rows();
+        if cols != d {
+            return Err(ZslError::Config(format!(
+                "source features have {cols} columns but the engine's projection expects {d}; \
+                 the model was trained on a different feature space"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The ONE generic batch-prediction entry point: argmax predictions over
+    /// one split of any [`FeatureSource`], chunk by chunk.
     ///
     /// Projection, normalization, and scoring are all row-local, so the
     /// predictions are **bit-identical** to calling
-    /// [`ScoringEngine::predict`] on the concatenated rows, for every chunk
-    /// size. Only the `Vec<usize>` of predictions grows with the stream;
-    /// peak feature memory stays one chunk.
+    /// [`ScoringEngine::predict`] on the concatenated rows — for every source
+    /// kind and chunk size. Only the `Vec<usize>` of predictions grows with
+    /// the stream; peak feature memory stays one chunk (zero extra copies for
+    /// in-memory sources, which lend their matrix as one borrowed chunk).
     ///
-    /// Chunk errors abort the pass and propagate unchanged.
+    /// A source whose feature width disagrees with the model (e.g. a `.zsm`
+    /// engine from a different feature space) is a typed
+    /// [`ZslError::Config`], never a panic.
+    pub fn predict_source<S: FeatureSource + ?Sized>(
+        &self,
+        source: &S,
+        split: SplitKind,
+    ) -> Result<Vec<usize>, ZslError> {
+        let mut out = Vec::new();
+        for chunk in source.stream(split)? {
+            let (x, _) = chunk?;
+            self.check_feature_width(x.cols())?;
+            out.extend(self.predict(&x));
+        }
+        Ok(out)
+    }
+
+    /// Argmax predictions over a raw stream of feature chunks. Chunk errors
+    /// abort the pass and propagate unchanged.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ScoringEngine::predict_source` with a `FeatureSource`, or loop \
+                `ScoringEngine::predict` over the chunks"
+    )]
     pub fn predict_stream<I, E>(&self, chunks: I) -> Result<Vec<usize>, E>
     where
         I: IntoIterator<Item = Result<Matrix, E>>,
@@ -672,6 +744,31 @@ mod tests {
     }
 
     #[test]
+    fn predict_source_matches_predict_on_every_split() {
+        let ds = crate::data::SyntheticConfig::new()
+            .classes(6, 2)
+            .seed(8)
+            .build();
+        let model = crate::model::EszslConfig::new()
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train");
+        let engine = ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine);
+        for (split, x) in [
+            (SplitKind::Trainval, &ds.train_x),
+            (SplitKind::TestSeen, &ds.test_seen_x),
+            (SplitKind::TestUnseen, &ds.test_unseen_x),
+        ] {
+            assert_eq!(
+                engine.predict_source(&ds, split).expect("predict_source"),
+                engine.predict(x),
+                "{split:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn predict_stream_matches_predict_and_propagates_errors() {
         let mut rng = crate::data::Rng::new(44);
         let w = Matrix::from_vec(4, 3, (0..12).map(|_| rng.normal()).collect());

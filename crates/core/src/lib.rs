@@ -7,29 +7,75 @@
 //! classes — classes with zero training samples — by nearest semantic
 //! signature.
 //!
+//! ## One pipeline, any source
+//!
+//! The public API is organized around two ideas:
+//!
+//! - **[`FeatureSource`]** — anything that can stream its GZSL splits as
+//!   `(features, labels)` chunks: an in-memory [`Dataset`], an out-of-core
+//!   [`StreamingBundle`] (features stay on disk, peak memory
+//!   `O(chunk_rows x feature_dim)`), or a bare [`MemorySource`]. Every
+//!   train/evaluate entry point is ONE generic function over this trait, and
+//!   results are **bit-identical** across sources and chunk sizes.
+//! - **[`Pipeline`]** — the documented front door chaining the stages:
+//!
+//! ```
+//! use zsl_core::{CrossValConfig, Pipeline, SyntheticConfig};
+//!
+//! # fn main() -> Result<(), zsl_core::ZslError> {
+//! let ds = SyntheticConfig::new().classes(20, 4).seed(7).build();
+//! let cv = CrossValConfig::new()
+//!     .gammas(vec![0.1, 1.0, 10.0])
+//!     .lambdas(vec![0.1, 1.0, 10.0])
+//!     .folds(3);
+//! let trained = Pipeline::from(&ds)
+//!     .cross_validate(&cv)?  // pick (γ, λ) on seen classes only
+//!     .train()?;             // fit + build the serving engine
+//! let report = trained.evaluate()?; // GZSL protocol
+//! assert!(report.harmonic_mean > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A trained pipeline persists as a versioned **`.zsm` model artifact**
+//! (`trained.save(path)?` / [`ScoringEngine::load`]), so a serving process
+//! boots from one small file — no training data, no re-solve — and
+//! reproduces predictions bit-for-bit.
+//!
 //! ## Pipeline: feature → attribute → class
 //!
-//! 1. **Features** `X : n x d` — one row per sample (e.g. CNN embeddings; here,
-//!    hermetic synthetic features from [`data::SyntheticConfig`]).
+//! 1. **Features** `X : n x d` — one row per sample (e.g. CNN embeddings;
+//!    here, hermetic synthetic features from [`data::SyntheticConfig`] or
+//!    on-disk bundles).
 //! 2. **Projection** — [`model::EszslTrainer`] solves the closed form
 //!    `W = (XᵀX + γI)⁻¹ XᵀYS (SᵀS + λI)⁻¹` on seen classes
 //!    ([`model::RidgeTrainer`] is the simpler fallback). `X W` lands samples
 //!    in attribute space.
-//! 3. **Class** — [`infer::Classifier`] scores projected samples against a
+//! 3. **Class** — [`infer::ScoringEngine`] scores projected samples against a
 //!    bank of class signatures (cosine or dot similarity) and picks the
 //!    nearest; unseen classes are classified purely via their signatures.
 //!
 //! ## Module map
 //!
-//! | Module | Paper concept |
-//! |--------|---------------|
+//! | Module | Role |
+//! |--------|------|
+//! | [`pipeline`] | the [`Pipeline`] builder facade: source → CV → train → evaluate / save |
+//! | [`source`] | the [`FeatureSource`] trait + [`MemorySource`]; implemented by [`Dataset`] and [`StreamingBundle`] |
 //! | [`linalg`] | dense math: blocked + row-banded parallel matmul, packed `A·Bᵀ` kernel, Cholesky solves for the two SPD systems |
-//! | [`model`] | the closed-form trainer (Eq. `W = (XᵀX+γI)⁻¹XᵀYS(SᵀS+λI)⁻¹`), [`model::EszslProblem`] Gram reuse for grid searches |
+//! | [`model`] | the closed-form trainer (Eq. `W = (XᵀX+γI)⁻¹XᵀYS(SᵀS+λI)⁻¹`); [`model::GramAccumulator`] is the single Gram fold behind every source kind |
 //! | [`infer`] | [`infer::ScoringEngine`] (cached bank, parallel + chunked batch scoring), nearest-signature classification, top-k, ZSL/GZSL metrics |
-//! | [`data`]  | seeded synthetic datasets **plus** on-disk bundles: `.zsb`/CSV feature dumps, signature tables, and `att_splits`-style split manifests loaded by [`data::DatasetBundle`] — or streamed chunk-at-a-time by [`data::StreamingBundle`] when features exceed RAM |
-//! | [`eval`]  | the GZSL protocol ([`eval::GzslReport`]) and seeded k-fold `(γ, λ)` cross-validation ([`eval::cross_validate`]), each with a bit-identical out-of-core twin (`*_stream`) |
+//! | [`artifact`] | the versioned `.zsm` model artifact: [`ScoringEngine::save`] / [`ScoringEngine::load`], bit-identical round trips |
+//! | [`data`]  | seeded synthetic datasets **plus** on-disk bundles: `.zsb`/CSV feature dumps, signature tables, split manifests — loaded whole by [`data::DatasetBundle`] or streamed chunk-at-a-time by [`StreamingBundle`] (CSV gets shuffled reads via [`data::CsvLineIndex`]) |
+//! | [`eval`]  | the generic GZSL protocol ([`eval::GzslReport`]) and seeded k-fold `(γ, λ)` cross-validation ([`eval::cross_validate`]) over any source |
 //!
-//! ## End-to-end example
+//! Errors across the pipeline unify into the top-level [`ZslError`], which
+//! chains inner causes through [`std::error::Error::source`]. The pre-PR 5
+//! `*_stream` twins (`evaluate_gzsl_stream`, `cross_validate_stream`,
+//! `train_stream`, `predict_stream`, `select_train_evaluate_stream`) still
+//! compile as `#[deprecated]` one-line wrappers over the generic entry
+//! points — see the README migration table.
+//!
+//! ## Low-level example (no facade)
 //!
 //! ```
 //! use zsl_core::data::SyntheticConfig;
@@ -49,21 +95,26 @@
 //! assert!(acc > 0.9);
 //! ```
 
+pub mod artifact;
 pub mod data;
+mod error;
 pub mod eval;
 pub mod infer;
 pub mod linalg;
 pub mod model;
+pub mod pipeline;
+pub mod source;
 
+pub use artifact::{ZSM_HEADER_LEN, ZSM_MAGIC, ZSM_VERSION};
 pub use data::{
-    export_dataset, ClassMap, CsvChunkReader, DataError, Dataset, DatasetBundle, FeatureChunk,
-    FeatureFormat, FeatureTable, Rng, SplitManifest, SplitPlan, SplitStream, StreamingBundle,
-    SyntheticConfig, ZsbChunkReader,
+    export_dataset, ClassMap, CsvChunkReader, CsvIndexedReader, CsvLineIndex, DataError, Dataset,
+    DatasetBundle, FeatureChunk, FeatureFormat, FeatureTable, Rng, SplitManifest, SplitPlan,
+    SplitStream, StreamingBundle, SyntheticConfig, ZsbChunkReader,
 };
+pub use error::ZslError;
 pub use eval::{
-    cross_validate, cross_validate_stream, evaluate_gzsl, evaluate_gzsl_stream,
-    select_train_evaluate, select_train_evaluate_stream, CrossValConfig, CrossValReport, EvalError,
-    GridPoint, GzslReport,
+    cross_validate, evaluate_gzsl, evaluate_gzsl_with, select_train_evaluate, CrossValConfig,
+    CrossValReport, EvalError, GridPoint, GzslReport,
 };
 pub use infer::{
     harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy,
@@ -74,3 +125,10 @@ pub use model::{
     EszslConfig, EszslProblem, EszslTrainer, GramAccumulator, ProjectionModel, RidgeConfig,
     RidgeTrainer, TrainError,
 };
+pub use pipeline::{Pipeline, TrainedPipeline};
+pub use source::{FeatureSource, MemorySource, SourceChunk, SourceStream, SplitKind};
+
+// The deprecated compatibility wrappers stay importable from the crate root,
+// exactly where the pre-PR 5 names lived.
+#[allow(deprecated)]
+pub use eval::{cross_validate_stream, evaluate_gzsl_stream, select_train_evaluate_stream};

@@ -15,11 +15,16 @@
 //!
 //! The closed form only ever touches the data through `XᵀX` and `XᵀYS`, so
 //! training does not need `X` in memory: [`GramAccumulator`] folds row chunks
-//! into those products out-of-core, and [`EszslProblem::from_stream`] /
-//! [`EszslTrainer::train_stream`] build on it — all **bit-identical** to the
-//! in-memory path for every chunk size.
+//! into those products and is the **single** Gram implementation behind every
+//! entry point — the in-memory [`EszslProblem::new`], the raw chunk-iterator
+//! [`EszslProblem::from_stream`], and the generic
+//! [`EszslProblem::from_source`] / [`EszslTrainer::fit`] over any
+//! [`crate::source::FeatureSource`] — all **bit-identical** for every source
+//! kind and chunk size.
 
+use crate::error::ZslError;
 use crate::linalg::{solve_spd, LinalgError, Matrix};
+use crate::source::{FeatureSource, SplitKind};
 use std::borrow::Cow;
 
 /// Errors from model training.
@@ -49,7 +54,14 @@ impl std::fmt::Display for TrainError {
     }
 }
 
-impl std::error::Error for TrainError {}
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<LinalgError> for TrainError {
     fn from(e: LinalgError) -> Self {
@@ -349,14 +361,36 @@ impl EszslTrainer {
         .solve(self.config.gamma, self.config.lambda)
     }
 
+    /// The ONE generic training entry point: fit on the trainval split of any
+    /// [`FeatureSource`] — a materialized [`crate::data::Dataset`], a disk
+    /// [`crate::data::StreamingBundle`], or a bare
+    /// [`crate::source::MemorySource`] — with this trainer's configuration.
+    ///
+    /// Every source flows through the same [`GramAccumulator`] fold, so the
+    /// trained weights are **bit-identical** across sources and chunk sizes
+    /// (and to the pre-PR 5 `train` / `train_stream` twins this replaces).
+    pub fn fit<S: FeatureSource + ?Sized>(&self, source: &S) -> Result<ProjectionModel, ZslError> {
+        validate_regularizer("gamma", self.config.gamma)?;
+        validate_regularizer("lambda", self.config.lambda)?;
+        let problem = EszslProblem::from_source_with_normalization(
+            source,
+            self.config.normalize_features,
+            self.config.normalize_signatures,
+        )?;
+        Ok(problem.solve(self.config.gamma, self.config.lambda)?)
+    }
+
     /// Train from a stream of `(features, labels)` chunks without ever
-    /// holding the full feature matrix — the out-of-core twin of
-    /// [`EszslTrainer::train`], **bit-identical** to it when the chunks
-    /// concatenate (in order) to the same matrix, for every chunk size.
+    /// holding the full feature matrix.
     ///
     /// The error type is the stream's: chunk errors (e.g.
     /// [`crate::data::DataError`] from a [`crate::data::SplitStream`])
     /// propagate as-is, and [`TrainError`]s convert through `E: From`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `EszslTrainer::fit` with a `FeatureSource`, or `EszslProblem::from_stream` \
+                + `solve` for raw chunk iterators"
+    )]
     pub fn train_stream<I, E>(&self, chunks: I, signatures: &Matrix) -> Result<ProjectionModel, E>
     where
         I: IntoIterator<Item = Result<(Matrix, Vec<usize>), E>>,
@@ -406,6 +440,12 @@ impl EszslProblem {
 
     /// Precompute with optional L2 row normalization of features and/or
     /// signatures (matching the [`EszslConfig`] toggles).
+    ///
+    /// Since PR 5 this is a one-chunk fold through [`GramAccumulator`] — the
+    /// single Gram implementation every source kind shares. The accumulator
+    /// adds into each Gram element in the identical ascending-row order as
+    /// the one-shot `XᵀX` gemm this used to run, so results are bit-for-bit
+    /// unchanged (the golden suites pin this).
     pub fn with_normalization(
         x: &Matrix,
         labels: &[usize],
@@ -413,24 +453,42 @@ impl EszslProblem {
         normalize_features: bool,
         normalize_signatures: bool,
     ) -> Result<Self, TrainError> {
-        let (x, s) = prepare_inputs(
-            x,
-            labels,
+        let mut acc = GramAccumulator::with_normalization(
             signatures,
             normalize_features,
             normalize_signatures,
-        )?;
+        );
+        acc.fold(x, labels)?;
+        acc.finish()
+    }
 
-        let xt = x.transpose();
+    /// The ONE generic problem constructor: fold the trainval split of any
+    /// [`FeatureSource`] into the Gram matrices, chunk by chunk. In-memory
+    /// sources lend one borrowed chunk (no copy); streamed sources never
+    /// materialize their features. Bit-identical across sources and chunk
+    /// sizes.
+    pub fn from_source<S: FeatureSource + ?Sized>(source: &S) -> Result<Self, ZslError> {
+        Self::from_source_with_normalization(source, false, false)
+    }
 
-        // Y is one-hot, so Y S is just a per-sample gather of class
-        // signatures — never materialize the n x z one-hot matrix or pay the
-        // O(n·d·z) product.
-        let xtx = xt.matmul(&x);
-        let ys = gather_signatures(labels, &s);
-        let xtys = xt.matmul(&ys);
-        let sts = s.transpose().matmul(&s);
-        Ok(EszslProblem { xtx, xtys, sts })
+    /// [`EszslProblem::from_source`] with the [`EszslConfig`] normalization
+    /// toggles.
+    pub fn from_source_with_normalization<S: FeatureSource + ?Sized>(
+        source: &S,
+        normalize_features: bool,
+        normalize_signatures: bool,
+    ) -> Result<Self, ZslError> {
+        let signatures = source.seen_signatures();
+        let mut acc = GramAccumulator::with_normalization(
+            &signatures,
+            normalize_features,
+            normalize_signatures,
+        );
+        for chunk in source.stream(SplitKind::Trainval)? {
+            let (x, labels) = chunk?;
+            acc.fold(&x, &labels)?;
+        }
+        Ok(acc.finish()?)
     }
 
     /// Build the problem by folding a stream of `(features, labels)` chunks
@@ -875,6 +933,35 @@ mod tests {
     }
 
     #[test]
+    fn fit_on_a_dataset_source_matches_raw_train_bit_for_bit() {
+        let ds = SyntheticConfig::new().seed(31).build();
+        for (nf, ns) in [(false, false), (true, true)] {
+            let trainer = EszslConfig::new()
+                .gamma(0.7)
+                .lambda(1.3)
+                .normalize_features(nf)
+                .normalize_signatures(ns)
+                .build();
+            let direct = trainer
+                .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+                .expect("train");
+            let fitted = trainer.fit(&ds).expect("fit");
+            assert_eq!(
+                fitted.weights().as_slice(),
+                direct.weights().as_slice(),
+                "nf={nf} ns={ns}"
+            );
+        }
+        // Bad regularizers surface as the same typed error through fit.
+        let bad = EszslConfig::new().gamma(-1.0).build();
+        assert!(matches!(
+            bad.fit(&ds),
+            Err(ZslError::Train(TrainError::InvalidConfig(_)))
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn train_stream_matches_train_and_propagates_stream_errors() {
         let ds = SyntheticConfig::new().seed(13).build();
         let trainer = EszslConfig::new().gamma(0.3).lambda(3.0).build();

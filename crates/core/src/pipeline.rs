@@ -1,0 +1,344 @@
+//! The documented front door: a builder facade over the generic pipeline.
+//!
+//! ```
+//! use zsl_core::{CrossValConfig, Pipeline, SyntheticConfig};
+//!
+//! # fn main() -> Result<(), zsl_core::ZslError> {
+//! let ds = SyntheticConfig::new().classes(20, 4).seed(7).build();
+//! let cv = CrossValConfig::new()
+//!     .gammas(vec![0.1, 1.0, 10.0])
+//!     .lambdas(vec![0.1, 1.0, 10.0])
+//!     .folds(3);
+//! let report = Pipeline::from(&ds).cross_validate(&cv)?.train()?.evaluate()?;
+//! assert!(report.harmonic_mean > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Pipeline`] wires the generic stages together — `(γ, λ)` selection via
+//! [`cross_validate`], a final fit via [`EszslTrainer::fit`], GZSL scoring
+//! via [`evaluate_gzsl_with`] — over any [`FeatureSource`]: swap the
+//! in-memory dataset above for a [`crate::data::StreamingBundle`] and the
+//! same chain runs out-of-core with bit-identical numbers. Each stage is a
+//! thin delegation, so the facade adds no measurable overhead over calling
+//! the stages directly (the `[bench] facade-vs-direct` line in
+//! `tests/throughput.rs` tracks this).
+//!
+//! A trained pipeline exposes its [`ScoringEngine`] and can persist it as a
+//! `.zsm` artifact ([`TrainedPipeline::save`]) whose provenance metadata
+//! records the hyperparameters — serving then boots from that file alone
+//! ([`ScoringEngine::load`] + [`evaluate_gzsl_with`] or raw `predict`).
+
+use crate::error::ZslError;
+use crate::eval::{cross_validate, evaluate_gzsl_with, CrossValConfig, CrossValReport, GzslReport};
+use crate::infer::{ScoringEngine, Similarity};
+use crate::model::{EszslConfig, EszslTrainer, ProjectionModel};
+use crate::source::FeatureSource;
+use std::path::Path;
+
+/// Untrained pipeline: a source plus the training configuration to apply.
+///
+/// Build one with `Pipeline::from(&source)` (any [`FeatureSource`]),
+/// optionally adjust the [`EszslConfig`] / similarity or run
+/// [`Pipeline::cross_validate`], then [`Pipeline::train`].
+#[derive(Clone, Debug)]
+pub struct Pipeline<'a, S: FeatureSource + ?Sized> {
+    source: &'a S,
+    config: EszslConfig,
+    /// `Some` once set explicitly (or adopted from a sweep); `None` means
+    /// "nobody chose yet" and resolves to cosine at train time.
+    similarity: Option<Similarity>,
+    cv: Option<CrossValReport>,
+}
+
+impl<'a, S: FeatureSource + ?Sized> From<&'a S> for Pipeline<'a, S> {
+    /// Start a pipeline over `source` with the default configuration
+    /// (γ = λ = 1, no normalization, cosine similarity).
+    fn from(source: &'a S) -> Self {
+        Pipeline {
+            source,
+            config: EszslConfig::default(),
+            similarity: None,
+            cv: None,
+        }
+    }
+}
+
+impl<'a, S: FeatureSource + ?Sized> Pipeline<'a, S> {
+    /// Replace the trainer configuration (regularizers + normalization).
+    pub fn config(mut self, config: EszslConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the similarity used for scoring and evaluation. An explicit
+    /// choice here is sticky: a later [`Pipeline::cross_validate`] sweeps
+    /// *under* it rather than overwriting it.
+    pub fn similarity(mut self, similarity: Similarity) -> Self {
+        self.similarity = Some(similarity);
+        self
+    }
+
+    /// Select `(γ, λ)` by seeded k-fold cross-validation on the source's
+    /// trainval split and adopt the winning pair for the subsequent
+    /// [`Pipeline::train`]. The full [`CrossValReport`] is retained and
+    /// available from the trained pipeline.
+    ///
+    /// The sweep runs under this pipeline's preprocessing: the normalization
+    /// toggles (set via [`Pipeline::config`]) and any similarity set via
+    /// [`Pipeline::similarity`] govern the sweep — hyperparameters are
+    /// always selected for the exact model `train()` will fit and serve,
+    /// never for a differently-configured one. When no similarity was set on
+    /// the pipeline, the sweep's similarity is adopted for training. A
+    /// [`CrossValConfig`] that explicitly enables normalization the pipeline
+    /// will *not* train with is a contradiction and a typed
+    /// [`ZslError::Config`], never a silently un-normalized sweep.
+    pub fn cross_validate(mut self, config: &CrossValConfig) -> Result<Self, ZslError> {
+        if (config.normalize_features && !self.config.normalize_features)
+            || (config.normalize_signatures && !self.config.normalize_signatures)
+        {
+            return Err(ZslError::Config(
+                "the CrossValConfig enables normalization that this pipeline's EszslConfig \
+                 does not; set normalization via Pipeline::config, which governs both the \
+                 sweep and the final fit"
+                    .into(),
+            ));
+        }
+        let mut sweep = config
+            .clone()
+            .normalize_features(self.config.normalize_features)
+            .normalize_signatures(self.config.normalize_signatures);
+        if let Some(similarity) = self.similarity {
+            sweep.similarity = similarity;
+        }
+        let cv = cross_validate(self.source, &sweep)?;
+        self.config.gamma = cv.best.gamma;
+        self.config.lambda = cv.best.lambda;
+        self.similarity = Some(sweep.similarity);
+        self.cv = Some(cv);
+        Ok(self)
+    }
+
+    /// Fit the closed form on the trainval split and build the serving
+    /// engine over the source's union signature bank.
+    pub fn train(self) -> Result<TrainedPipeline<'a, S>, ZslError> {
+        let similarity = self.similarity.unwrap_or_default();
+        let model = EszslTrainer::new(self.config.clone()).fit(self.source)?;
+        let engine = ScoringEngine::new(model, self.source.union_signatures(), similarity);
+        Ok(TrainedPipeline {
+            source: self.source,
+            engine,
+            config: self.config,
+            cv: self.cv,
+        })
+    }
+}
+
+/// A trained pipeline: the scoring engine plus the source it came from.
+#[derive(Clone, Debug)]
+pub struct TrainedPipeline<'a, S: FeatureSource + ?Sized> {
+    source: &'a S,
+    engine: ScoringEngine,
+    config: EszslConfig,
+    cv: Option<CrossValReport>,
+}
+
+impl<S: FeatureSource + ?Sized> TrainedPipeline<'_, S> {
+    /// Run the GZSL protocol on the source's test splits — bit-identical to
+    /// [`crate::eval::evaluate_gzsl`] with this pipeline's model.
+    pub fn evaluate(&self) -> Result<GzslReport, ZslError> {
+        evaluate_gzsl_with(&self.engine, self.source)
+    }
+
+    /// The serving engine (cached union bank, parallel scoring).
+    pub fn engine(&self) -> &ScoringEngine {
+        &self.engine
+    }
+
+    /// Consume the pipeline, keeping the engine (e.g. to move it into a
+    /// server).
+    pub fn into_engine(self) -> ScoringEngine {
+        self.engine
+    }
+
+    /// The trained projection model.
+    pub fn model(&self) -> &ProjectionModel {
+        self.engine.model()
+    }
+
+    /// The trainer configuration that produced this model (after any
+    /// cross-validated `(γ, λ)` adoption).
+    pub fn config(&self) -> &EszslConfig {
+        &self.config
+    }
+
+    /// The cross-validation report, when [`Pipeline::cross_validate`] ran.
+    pub fn cv_report(&self) -> Option<&CrossValReport> {
+        self.cv.as_ref()
+    }
+
+    /// Persist the engine as a `.zsm` artifact whose provenance metadata
+    /// records how it was trained — γ, λ, normalization toggles, similarity,
+    /// and the class counts — so a serving process can boot from this file
+    /// alone and an operator can later tell artifacts apart.
+    pub fn save(&self, path: &Path) -> Result<(), ZslError> {
+        let metadata = format!(
+            "trainer=eszsl; gamma={}; lambda={}; normalize_features={}; \
+             normalize_signatures={}; similarity={}; seen_classes={}; unseen_classes={}",
+            self.config.gamma,
+            self.config.lambda,
+            self.config.normalize_features,
+            self.config.normalize_signatures,
+            self.engine.similarity(),
+            self.source.num_seen_classes(),
+            self.source.num_unseen_classes(),
+        );
+        self.engine.save_with_metadata(path, &metadata)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticConfig;
+    use crate::eval::select_train_evaluate;
+
+    #[test]
+    fn facade_matches_the_direct_protocol_bit_for_bit() {
+        let ds = SyntheticConfig::new().seed(404).build();
+        let config = CrossValConfig::new()
+            .gammas(vec![0.1, 1.0])
+            .lambdas(vec![1.0])
+            .folds(3)
+            .seed(9);
+        let (direct_cv, direct_report) = select_train_evaluate(&ds, &config).expect("direct");
+        let trained = Pipeline::from(&ds)
+            .cross_validate(&config)
+            .expect("cv")
+            .train()
+            .expect("train");
+        assert_eq!(trained.cv_report(), Some(&direct_cv));
+        assert_eq!(trained.config().gamma, direct_cv.best.gamma);
+        let report = trained.evaluate().expect("evaluate");
+        assert_eq!(report, direct_report);
+    }
+
+    #[test]
+    fn cross_validation_sweeps_under_the_pipelines_normalization() {
+        // Selecting (γ, λ) on raw features and then training on normalized
+        // ones would tune a different model than the one shipped; the facade
+        // must run the sweep under its own normalization toggles.
+        let ds = SyntheticConfig::new().seed(88).build();
+        let cfg = CrossValConfig::new()
+            .gammas(vec![0.1, 1.0])
+            .lambdas(vec![0.1, 1.0])
+            .folds(3)
+            .seed(5);
+        let trained = Pipeline::from(&ds)
+            .config(
+                EszslConfig::new()
+                    .normalize_features(true)
+                    .normalize_signatures(true),
+            )
+            .cross_validate(&cfg)
+            .expect("cv")
+            .train()
+            .expect("train");
+        let normalized_sweep = crate::eval::cross_validate(
+            &ds,
+            &cfg.clone()
+                .normalize_features(true)
+                .normalize_signatures(true),
+        )
+        .expect("normalized cv");
+        assert_eq!(trained.cv_report(), Some(&normalized_sweep));
+        // The toggles survive the (γ, λ) adoption into the final fit.
+        assert!(trained.config().normalize_features);
+        assert!(trained.config().normalize_signatures);
+        let direct = EszslConfig::new()
+            .gamma(normalized_sweep.best.gamma)
+            .lambda(normalized_sweep.best.lambda)
+            .normalize_features(true)
+            .normalize_signatures(true)
+            .build()
+            .fit(&ds)
+            .expect("fit");
+        assert_eq!(
+            trained.model().weights().as_slice(),
+            direct.weights().as_slice()
+        );
+    }
+
+    #[test]
+    fn contradictory_sweep_normalization_is_a_typed_error() {
+        // Asking the sweep for normalization the pipeline will not train
+        // with must fail loudly, not silently run an un-normalized sweep.
+        let ds = SyntheticConfig::new().seed(14).build();
+        let cfg = CrossValConfig::new()
+            .gammas(vec![1.0])
+            .lambdas(vec![1.0])
+            .folds(2)
+            .normalize_features(true);
+        let err = Pipeline::from(&ds).cross_validate(&cfg).unwrap_err();
+        assert!(
+            matches!(&err, ZslError::Config(msg) if msg.contains("Pipeline::config")),
+            "got {err:?}"
+        );
+        // Agreement (both normalized) is fine.
+        Pipeline::from(&ds)
+            .config(EszslConfig::new().normalize_features(true))
+            .cross_validate(&cfg)
+            .expect("consistent normalization");
+    }
+
+    #[test]
+    fn explicit_similarity_is_sticky_through_cross_validation() {
+        // similarity(Dot) then cross_validate must sweep under Dot and serve
+        // Dot — not silently reset to the CrossValConfig's cosine.
+        let ds = SyntheticConfig::new().seed(66).build();
+        let cfg = CrossValConfig::new()
+            .gammas(vec![0.1, 1.0])
+            .lambdas(vec![1.0])
+            .folds(3)
+            .seed(2);
+        let trained = Pipeline::from(&ds)
+            .similarity(Similarity::Dot)
+            .cross_validate(&cfg)
+            .expect("cv")
+            .train()
+            .expect("train");
+        assert_eq!(trained.engine().similarity(), Similarity::Dot);
+        let dot_sweep = crate::eval::cross_validate(&ds, &cfg.clone().similarity(Similarity::Dot))
+            .expect("dot cv");
+        assert_eq!(trained.cv_report(), Some(&dot_sweep));
+        // Without an explicit choice, the sweep's similarity is adopted.
+        let adopted = Pipeline::from(&ds)
+            .cross_validate(&cfg.similarity(Similarity::Dot))
+            .expect("cv")
+            .train()
+            .expect("train");
+        assert_eq!(adopted.engine().similarity(), Similarity::Dot);
+    }
+
+    #[test]
+    fn facade_without_cv_uses_the_given_config() {
+        let ds = SyntheticConfig::new().seed(21).build();
+        let trained = Pipeline::from(&ds)
+            .config(EszslConfig::new().gamma(0.5).lambda(2.0))
+            .similarity(Similarity::Dot)
+            .train()
+            .expect("train");
+        assert!(trained.cv_report().is_none());
+        let direct = EszslConfig::new()
+            .gamma(0.5)
+            .lambda(2.0)
+            .build()
+            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+            .expect("train");
+        assert_eq!(
+            trained.model().weights().as_slice(),
+            direct.weights().as_slice()
+        );
+        assert_eq!(trained.engine().similarity(), Similarity::Dot);
+    }
+}

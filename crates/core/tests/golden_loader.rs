@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use zsl_core::data::{
     export_dataset, DatasetBundle, FeatureFormat, StreamingBundle, SyntheticConfig,
 };
-use zsl_core::eval::{evaluate_gzsl, evaluate_gzsl_stream};
+use zsl_core::eval::evaluate_gzsl;
 use zsl_core::infer::Similarity;
 use zsl_core::model::{EszslConfig, EszslProblem, GramAccumulator};
 use zsl_core::Dataset;
@@ -143,7 +143,7 @@ fn fixture_produces_the_frozen_gzsl_report() {
         .build()
         .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
         .expect("train");
-    let report = evaluate_gzsl(&model, &ds, Similarity::Cosine);
+    let report = evaluate_gzsl(&model, &ds, Similarity::Cosine).expect("evaluate");
     let got = [
         report.seen_accuracy.to_bits(),
         report.unseen_accuracy.to_bits(),
@@ -202,7 +202,7 @@ fn fixture_streamed_accumulators_match_frozen_digests_and_in_memory_path() {
     // The streamed GZSL report reproduces the frozen report bits too.
     let model = problem.solve(1.0, 1.0).expect("solve");
     let bundle = StreamingBundle::open(&dir, 5).expect("open");
-    let report = evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("stream");
+    let report = evaluate_gzsl(&model, &bundle, Similarity::Cosine).expect("stream");
     let got = [
         report.seen_accuracy.to_bits(),
         report.unseen_accuracy.to_bits(),
@@ -234,7 +234,7 @@ fn regenerate_fixture() {
             &materialized.seen_signatures,
         )
         .expect("train");
-    let report = evaluate_gzsl(&model, &materialized, Similarity::Cosine);
+    let report = evaluate_gzsl(&model, &materialized, Similarity::Cosine).expect("evaluate");
 
     println!("const GOLDEN_BUNDLE: [u64; 3] = [");
     for d in [

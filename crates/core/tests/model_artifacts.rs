@@ -1,0 +1,343 @@
+//! Test layer for the `.zsm` model-artifact format: property round trips,
+//! a committed golden artifact, and the `.zsb`-style error paths.
+//!
+//! Three layers, mirroring the dataset-bundle suites:
+//!
+//! 1. **Property** — random engines (dims × similarities × metadata) save
+//!    and reload to bit-identical scores, predictions, weights, and cached
+//!    banks.
+//! 2. **Golden** — `tests/fixtures/tiny_bundle/model.zsm` is committed; it
+//!    must load and reproduce the fixture's frozen `GzslReport` bits
+//!    (`GOLDEN_REPORT_BITS`, shared with `golden_loader.rs`). Regenerate via
+//!    the `--ignored regenerate_model_artifact` test after intentional
+//!    format changes.
+//! 3. **Errors** — truncation at every section boundary, bad magic, version
+//!    skew, unknown flags, bad similarity codes, inconsistent normalization
+//!    flags, trailing bytes, overflowing dims, non-UTF-8 metadata, and
+//!    non-finite payloads are all typed [`DataError`]s, never panics.
+
+use std::path::PathBuf;
+use zsl_core::data::{DataError, DatasetBundle, Rng};
+use zsl_core::eval::evaluate_gzsl_with;
+use zsl_core::infer::{ScoringEngine, Similarity};
+use zsl_core::linalg::Matrix;
+use zsl_core::model::{EszslConfig, ProjectionModel};
+use zsl_core::{ZslError, ZSM_HEADER_LEN};
+
+/// Frozen `GzslReport` bits of the γ = λ = 1 cosine engine on the fixture —
+/// the same constants `golden_loader.rs` pins (seen 0.25, unseen 0.5,
+/// harmonic mean 1/3).
+const GOLDEN_REPORT_BITS: [u64; 3] = [
+    0x3fd0_0000_0000_0000,
+    0x3fe0_0000_0000_0000,
+    0x3fd5_5555_5555_5555,
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("tiny_bundle")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "zsl_model_artifact_{}_{tag}.zsm",
+        std::process::id()
+    ))
+}
+
+fn random_engine(seed: u64, d: usize, a: usize, z: usize, sim: Similarity) -> ScoringEngine {
+    let mut rng = Rng::new(seed);
+    let w = Matrix::from_vec(d, a, (0..d * a).map(|_| rng.normal()).collect());
+    let bank = Matrix::from_vec(z, a, (0..z * a).map(|_| rng.normal()).collect());
+    ScoringEngine::new(ProjectionModel::from_weights(w), bank, sim)
+}
+
+/// The γ = λ = 1 cosine engine over the fixture's union bank — the engine
+/// the committed golden artifact freezes.
+fn fixture_engine() -> ScoringEngine {
+    let ds = DatasetBundle::load(&fixture_dir())
+        .expect("load fixture")
+        .to_dataset()
+        .expect("materialize");
+    let model = EszslConfig::new()
+        .gamma(1.0)
+        .lambda(1.0)
+        .build()
+        .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
+        .expect("train");
+    ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine)
+}
+
+// ---------------------------------------------------------------------------
+// Property layer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn random_models_round_trip_to_bit_identical_predictions() {
+    let path = temp_path("property");
+    let mut case = 0u64;
+    for (d, a, z) in [(3usize, 2usize, 4usize), (17, 5, 3), (8, 8, 40), (1, 1, 1)] {
+        for sim in [Similarity::Cosine, Similarity::Dot] {
+            case += 1;
+            let metadata = format!("case={case}; d={d}; a={a}; z={z}; sim={sim}; unicode=γλ✓");
+            let engine = random_engine(0xA1 + case, d, a, z, sim);
+            engine.save_with_metadata(&path, &metadata).expect("save");
+            let (back, meta) = ScoringEngine::load_with_metadata(&path).expect("load");
+            assert_eq!(meta, metadata);
+            assert_eq!(back.similarity(), sim, "case {case}");
+            assert_eq!(
+                back.model().weights().as_slice(),
+                engine.model().weights().as_slice(),
+                "case {case}: weights drifted"
+            );
+            assert_eq!(
+                back.signatures().as_slice(),
+                engine.signatures().as_slice(),
+                "case {case}: cached bank drifted"
+            );
+            // Scores and predictions over a random batch are bit-identical.
+            let mut rng = Rng::new(0xBA7 + case);
+            let x = Matrix::from_vec(11, d, (0..11 * d).map(|_| rng.normal()).collect());
+            assert_eq!(
+                back.scores(&x).as_slice(),
+                engine.scores(&x).as_slice(),
+                "case {case}: scores drifted"
+            );
+            assert_eq!(back.predict(&x), engine.predict(&x), "case {case}");
+            // A second save of the reloaded engine is byte-identical: the
+            // format is a fixed point, not an approximation.
+            let path2 = temp_path("property2");
+            back.save_with_metadata(&path2, &metadata).expect("resave");
+            assert_eq!(
+                std::fs::read(&path).expect("read a"),
+                std::fs::read(&path2).expect("read b"),
+                "case {case}: resave not byte-identical"
+            );
+            std::fs::remove_file(&path2).ok();
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Golden layer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn committed_artifact_reproduces_the_frozen_gzsl_report() {
+    let dir = fixture_dir();
+    let (engine, metadata) =
+        ScoringEngine::load_with_metadata(&dir.join("model.zsm")).expect("load golden artifact");
+    assert!(
+        metadata.contains("gamma=1") && metadata.contains("lambda=1"),
+        "provenance metadata lost: {metadata}"
+    );
+    // Serving boots from the artifact + the evaluation source alone — no
+    // training data, no re-solve.
+    let ds = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let report = evaluate_gzsl_with(&engine, &ds).expect("evaluate");
+    let got = [
+        report.seen_accuracy.to_bits(),
+        report.unseen_accuracy.to_bits(),
+        report.harmonic_mean.to_bits(),
+    ];
+    assert_eq!(
+        got, GOLDEN_REPORT_BITS,
+        "served GzslReport drifted: got ({}, {}, {}), bits {got:#018x?}",
+        report.seen_accuracy, report.unseen_accuracy, report.harmonic_mean
+    );
+    // And the artifact bytes themselves are what a fresh train would save.
+    let fresh = fixture_engine();
+    assert_eq!(
+        engine.model().weights().as_slice(),
+        fresh.model().weights().as_slice(),
+        "artifact weights drifted from a fresh fixture train"
+    );
+    assert_eq!(
+        engine.signatures().as_slice(),
+        fresh.signatures().as_slice()
+    );
+}
+
+/// Regenerate the committed golden artifact. Intentional format changes
+/// only — run, then commit the new `tests/fixtures/tiny_bundle/model.zsm`:
+/// `cargo test -p zsl-core --test model_artifacts -- --ignored regenerate`
+#[test]
+#[ignore = "writes the committed fixture; run explicitly after intentional format changes"]
+fn regenerate_model_artifact() {
+    let path = fixture_dir().join("model.zsm");
+    fixture_engine()
+        .save_with_metadata(
+            &path,
+            "trainer=eszsl; gamma=1; lambda=1; normalize_features=false; \
+             normalize_signatures=false; similarity=cosine; seen_classes=4; unseen_classes=2",
+        )
+        .expect("save golden artifact");
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Error-path layer (mirrors loader_errors.rs)
+// ---------------------------------------------------------------------------
+
+/// A small valid artifact to corrupt, as raw bytes.
+fn valid_artifact_bytes(tag: &str) -> (PathBuf, Vec<u8>) {
+    let path = temp_path(tag);
+    random_engine(7, 4, 3, 5, Similarity::Cosine)
+        .save_with_metadata(&path, "m")
+        .expect("save");
+    let bytes = std::fs::read(&path).expect("read");
+    (path, bytes)
+}
+
+fn expect_data_err(path: &std::path::Path) -> DataError {
+    match ScoringEngine::load(path) {
+        Err(ZslError::Data(e)) => e,
+        other => panic!("expected ZslError::Data, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_artifacts_are_typed_truncation_errors() {
+    let (path, bytes) = valid_artifact_bytes("truncated");
+    // Cut inside the header, inside the metadata, inside W, inside the bank.
+    let meta_end = ZSM_HEADER_LEN as usize + 1;
+    let w_end = meta_end + 8 * 4 * 3;
+    for keep in [
+        10,
+        ZSM_HEADER_LEN as usize,
+        meta_end + 5,
+        w_end + 9,
+        bytes.len() - 1,
+    ] {
+        std::fs::write(&path, &bytes[..keep]).expect("truncate");
+        match expect_data_err(&path) {
+            DataError::Truncated {
+                expected, actual, ..
+            } => {
+                assert_eq!(actual, keep as u64);
+                assert!(expected > actual, "keep={keep}: {expected} > {actual}");
+            }
+            other => panic!("keep={keep}: expected Truncated, got {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_magic_version_flags_similarity_and_trailing_bytes_are_header_errors() {
+    let (path, pristine) = valid_artifact_bytes("header");
+
+    let corrupt = |mutate: &dyn Fn(&mut Vec<u8>)| {
+        let mut bytes = pristine.clone();
+        mutate(&mut bytes);
+        std::fs::write(&path, &bytes).expect("write");
+        expect_data_err(&path)
+    };
+
+    for (what, mutate) in [
+        (
+            "magic",
+            (&|b: &mut Vec<u8>| b[0..4].copy_from_slice(b"NOPE")) as &dyn Fn(&mut Vec<u8>),
+        ),
+        ("version", &|b| {
+            b[4..6].copy_from_slice(&99u16.to_le_bytes())
+        }),
+        ("flags", &|b| {
+            b[6..8].copy_from_slice(&0x8000u16.to_le_bytes())
+        }),
+        ("similarity", &|b| b[8] = 7),
+        ("reserved", &|b| b[12] = 1),
+        ("trailing", &|b| b.extend_from_slice(&[0u8; 5])),
+        // Cosine engine whose flag claims an unnormalized bank.
+        ("flag-consistency", &|b| {
+            b[6..8].copy_from_slice(&0u16.to_le_bytes())
+        }),
+    ] {
+        let err = corrupt(mutate);
+        assert!(
+            matches!(err, DataError::Header { .. }),
+            "{what} corruption must be a Header error, got {err:?}"
+        );
+    }
+
+    // Version skew message names both versions, steering the operator.
+    let err = corrupt(&|b| b[4..6].copy_from_slice(&2u16.to_le_bytes()));
+    match err {
+        DataError::Header { message, .. } => {
+            assert!(message.contains("unsupported version 2"), "got: {message}")
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn overflowing_dims_and_zero_dims_are_header_errors_not_panics() {
+    let (path, pristine) = valid_artifact_bytes("overflow");
+    // Crafted dims that would wrap the expected-length arithmetic.
+    for (d, a, z) in [
+        (1u64 << 62, 2u64, 1u64),
+        (1u64 << 31, 1u64 << 31, 1),
+        (1, 2, u64::MAX / 4),
+    ] {
+        let mut bytes = pristine[..ZSM_HEADER_LEN as usize].to_vec();
+        bytes[16..24].copy_from_slice(&d.to_le_bytes());
+        bytes[24..32].copy_from_slice(&a.to_le_bytes());
+        bytes[32..40].copy_from_slice(&z.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        match expect_data_err(&path) {
+            DataError::Header { message, .. } => {
+                assert!(message.contains("overflow"), "d={d} a={a} z={z}: {message}")
+            }
+            other => panic!("d={d} a={a} z={z}: expected Header, got {other:?}"),
+        }
+    }
+    // Zero dims are rejected outright.
+    let mut bytes = pristine.clone();
+    bytes[16..24].copy_from_slice(&0u64.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(matches!(expect_data_err(&path), DataError::Header { .. }));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn invalid_metadata_and_nonfinite_payloads_are_header_errors() {
+    let (path, pristine) = valid_artifact_bytes("payload");
+    // Metadata is 1 byte ("m"); replace it with an invalid UTF-8 byte.
+    let mut bad_meta = pristine.clone();
+    bad_meta[ZSM_HEADER_LEN as usize] = 0xFF;
+    std::fs::write(&path, &bad_meta).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => assert!(message.contains("UTF-8"), "{message}"),
+        other => panic!("expected Header, got {other:?}"),
+    }
+    // NaN inside W.
+    let mut bad_w = pristine.clone();
+    let w_start = ZSM_HEADER_LEN as usize + 1;
+    bad_w[w_start..w_start + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+    std::fs::write(&path, &bad_w).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => {
+            assert!(message.contains("non-finite weight"), "{message}")
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+    // Infinity inside the bank.
+    let mut bad_bank = pristine.clone();
+    let bank_start = ZSM_HEADER_LEN as usize + 1 + 8 * 4 * 3;
+    bad_bank[bank_start..bank_start + 8].copy_from_slice(&f64::INFINITY.to_le_bytes());
+    std::fs::write(&path, &bad_bank).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => {
+            assert!(message.contains("non-finite signature"), "{message}")
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}

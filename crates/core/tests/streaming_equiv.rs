@@ -1,16 +1,27 @@
-//! Differential test layer for the out-of-core streaming pipeline.
+//! Differential test layer for the unified pipeline API.
 //!
-//! The hard invariant this suite locks down: **streamed results are
-//! bit-identical to the in-memory pipeline at every chunk size** — Gram
-//! accumulators, trained weights, predictions, GZSL reports, and the full
-//! CV → fit → evaluate protocol, on both on-disk formats, over synthetic
-//! bundles and the committed `tests/fixtures/tiny_bundle/`.
+//! The hard invariant this suite locks down: **every source kind flows
+//! through the single generic code path and produces bit-identical results
+//! at every chunk size** — Gram accumulators, trained weights, predictions,
+//! GZSL reports, and the full CV → fit → evaluate protocol. The twin
+//! `*_stream` implementations are gone (only `#[deprecated]` wrappers
+//! remain), so the comparisons here pit a materialized [`Dataset`] source
+//! against a [`StreamingBundle`] source through the *same* generic entry
+//! points, on both on-disk formats, over synthetic bundles and the committed
+//! `tests/fixtures/tiny_bundle/`.
 //!
 //! The streamed side of every comparison goes through [`StreamingBundle`]
 //! only — no full feature `Matrix` is ever constructed on that side, and
 //! every chunk is asserted to hold at most `chunk_rows` rows, which is what
 //! makes the `O(chunk_rows x feature_dim)` peak-feature-memory claim
-//! checkable.
+//! checkable. Since PR 5's CSV line index, shuffled manifests and
+//! cross-validation folds stream from CSV bundles too, so CSV now runs the
+//! *entire* protocol matrix.
+//!
+//! The serving half of the redesign is pinned here as well: a trained engine
+//! saved as a `.zsm` artifact and reloaded reproduces the golden fixture's
+//! `GzslReport` bit for bit — including the committed
+//! `tests/fixtures/tiny_bundle/model.zsm`.
 
 use std::path::PathBuf;
 use zsl_core::data::{
@@ -18,12 +29,12 @@ use zsl_core::data::{
     SPLITS_TXT,
 };
 use zsl_core::eval::{
-    cross_validate, evaluate_gzsl, evaluate_gzsl_stream, select_train_evaluate,
-    select_train_evaluate_stream, CrossValConfig, EvalError,
+    cross_validate, evaluate_gzsl, evaluate_gzsl_with, select_train_evaluate, CrossValConfig,
 };
 use zsl_core::infer::Similarity;
 use zsl_core::model::{EszslConfig, EszslProblem, GramAccumulator};
-use zsl_core::{Dataset, Rng};
+use zsl_core::source::{FeatureSource, SplitKind};
+use zsl_core::{Dataset, MemorySource, Rng, ScoringEngine};
 
 fn temp_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("zsl_stream_equiv_{}_{tag}", std::process::id()))
@@ -54,12 +65,12 @@ fn synthetic_dataset() -> Dataset {
         .build()
 }
 
-/// Stream every trainval chunk of `bundle` into a fresh accumulator,
-/// asserting the memory bound (no chunk exceeds `chunk_rows` rows) along the
-/// way.
+/// Build the trainval Gram problem from `bundle` through the generic source
+/// path, asserting the memory bound (no chunk exceeds `chunk_rows` rows)
+/// along the way.
 fn streamed_problem(bundle: &StreamingBundle) -> EszslProblem {
     let mut acc = GramAccumulator::new(&bundle.seen_signatures());
-    for chunk in bundle.stream_trainval().expect("trainval stream") {
+    for chunk in FeatureSource::stream(bundle, SplitKind::Trainval).expect("trainval stream") {
         let (x, labels) = chunk.expect("chunk");
         assert!(
             x.rows() <= bundle.chunk_rows(),
@@ -73,24 +84,6 @@ fn streamed_problem(bundle: &StreamingBundle) -> EszslProblem {
     acc.finish().expect("finish")
 }
 
-/// Collect streamed predictions for a split, again asserting the chunk-size
-/// bound.
-fn streamed_predictions(
-    engine: &zsl_core::infer::ScoringEngine,
-    stream: zsl_core::data::SplitStream,
-    chunk_rows: usize,
-) -> (Vec<usize>, Vec<usize>) {
-    let mut preds = Vec::new();
-    let mut labels = Vec::new();
-    for chunk in stream {
-        let (x, l) = chunk.expect("chunk");
-        assert!(x.rows() <= chunk_rows);
-        preds.extend(engine.predict(&x));
-        labels.extend(l);
-    }
-    (preds, labels)
-}
-
 #[test]
 fn streamed_gram_training_and_prediction_match_in_memory_at_every_chunk_size() {
     let ds = synthetic_dataset();
@@ -101,22 +94,22 @@ fn streamed_gram_training_and_prediction_match_in_memory_at_every_chunk_size() {
             .expect("load")
             .to_dataset()
             .expect("materialize");
-        let reference = EszslProblem::new(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
-            .expect("in-memory problem");
+        // In-memory reference, itself produced by the same generic path.
+        let reference = EszslProblem::from_source(&mem).expect("in-memory problem");
         let model = EszslConfig::new()
             .gamma(1.0)
             .lambda(1.0)
             .build()
-            .train(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
-            .expect("train");
-        let engine = zsl_core::infer::ScoringEngine::new(
-            model.clone(),
-            mem.all_signatures(),
-            Similarity::Cosine,
-        );
-        let mem_seen_pred = engine.predict(&mem.test_seen_x);
-        let mem_unseen_pred = engine.predict(&mem.test_unseen_x);
-        let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine);
+            .fit(&mem)
+            .expect("fit");
+        let engine = ScoringEngine::new(model.clone(), mem.all_signatures(), Similarity::Cosine);
+        let mem_seen_pred = engine
+            .predict_source(&mem, SplitKind::TestSeen)
+            .expect("predict");
+        let mem_unseen_pred = engine
+            .predict_source(&mem, SplitKind::TestUnseen)
+            .expect("predict");
+        let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine).expect("evaluate");
 
         for chunk_rows in chunk_sizes(mem.train_x.rows()) {
             let label = format!("{format:?} chunk_rows={chunk_rows}");
@@ -145,7 +138,8 @@ fn streamed_gram_training_and_prediction_match_in_memory_at_every_chunk_size() {
                 "{label}"
             );
 
-            // 2. Trained weights are bit-identical.
+            // 2. Trained weights are bit-identical — and the generic fit
+            //    over the bundle source reproduces them too.
             for (gamma, lambda) in [(1.0, 1.0), (0.01, 100.0)] {
                 assert_eq!(
                     streamed
@@ -161,38 +155,45 @@ fn streamed_gram_training_and_prediction_match_in_memory_at_every_chunk_size() {
                     "{label} gamma={gamma} lambda={lambda}"
                 );
             }
-
-            // 3. Streamed predictions equal in-memory predictions, with the
-            //    labels streaming alongside in the same (manifest) order.
-            let (pred, labels) = streamed_predictions(
-                &engine,
-                bundle.stream_test_seen().expect("seen stream"),
-                chunk_rows,
-            );
-            assert_eq!(pred, mem_seen_pred, "{label}");
-            assert_eq!(labels, mem.test_seen_labels, "{label}");
-            let (pred, labels) = streamed_predictions(
-                &engine,
-                bundle.stream_test_unseen().expect("unseen stream"),
-                chunk_rows,
-            );
-            assert_eq!(pred, mem_unseen_pred, "{label}");
-            assert_eq!(labels, mem.test_unseen_labels, "{label}");
-
-            // 3b. predict_stream sugar agrees too.
-            let stream = bundle
-                .stream_test_seen()
-                .expect("seen stream")
-                .map(|r| r.map(|(x, _)| x));
+            let fitted = EszslConfig::new()
+                .gamma(1.0)
+                .lambda(1.0)
+                .build()
+                .fit(&bundle)
+                .expect("fit bundle");
             assert_eq!(
-                engine.predict_stream(stream).expect("predict_stream"),
-                mem_seen_pred,
+                fitted.weights().as_slice(),
+                model.weights().as_slice(),
                 "{label}"
             );
 
-            // 4. The streamed GZSL report is the in-memory report, bit for bit.
+            // 3. Streamed predictions equal in-memory predictions through the
+            //    one generic predict entry point.
+            assert_eq!(
+                engine
+                    .predict_source(&bundle, SplitKind::TestSeen)
+                    .expect("predict"),
+                mem_seen_pred,
+                "{label}"
+            );
+            assert_eq!(
+                engine
+                    .predict_source(&bundle, SplitKind::TestUnseen)
+                    .expect("predict"),
+                mem_unseen_pred,
+                "{label}"
+            );
+            // 3b. The split's labels stream alongside in manifest order.
+            let mut labels = Vec::new();
+            for chunk in FeatureSource::stream(&bundle, SplitKind::TestSeen).expect("stream") {
+                labels.extend(chunk.expect("chunk").1.into_owned());
+            }
+            assert_eq!(labels, mem.test_seen_labels, "{label}");
+
+            // 4. The streamed GZSL report is the in-memory report, bit for
+            //    bit, through the one generic evaluate entry point.
             let streamed_report =
-                evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("gzsl stream");
+                evaluate_gzsl(&model, &bundle, Similarity::Cosine).expect("gzsl stream");
             assert_eq!(streamed_report, mem_report, "{label}");
             assert_eq!(
                 streamed_report.harmonic_mean.to_bits(),
@@ -205,109 +206,128 @@ fn streamed_gram_training_and_prediction_match_in_memory_at_every_chunk_size() {
 }
 
 #[test]
-fn streamed_full_protocol_matches_select_train_evaluate() {
+fn streamed_full_protocol_matches_select_train_evaluate_on_both_formats() {
     let ds = synthetic_dataset();
-    let dir = temp_dir("protocol");
-    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
-    let mem = DatasetBundle::load(&dir)
-        .expect("load")
-        .to_dataset()
-        .expect("materialize");
     let config = CrossValConfig::new()
         .gammas(vec![0.1, 1.0, 10.0])
         .lambdas(vec![0.1, 1.0])
         .folds(3)
         .seed(777);
-    let (mem_cv, mem_report) = select_train_evaluate(&mem, &config).expect("in-memory protocol");
+    // Since the CSV line index, the full protocol (shuffled CV folds
+    // included) runs on BOTH formats.
+    for format in [FeatureFormat::Zsb, FeatureFormat::Csv] {
+        let dir = temp_dir(&format!("protocol_{format:?}"));
+        export_dataset(&ds, &dir, format).expect("export");
+        let mem = DatasetBundle::load_with_format(&dir, format)
+            .expect("load")
+            .to_dataset()
+            .expect("materialize");
+        let (mem_cv, mem_report) =
+            select_train_evaluate(&mem, &config).expect("in-memory protocol");
 
-    for chunk_rows in chunk_sizes(mem.train_x.rows()) {
-        let bundle = StreamingBundle::open(&dir, chunk_rows).expect("open");
-        let (cv, report) =
-            select_train_evaluate_stream(&bundle, &config).expect("streamed protocol");
-        assert_eq!(cv, mem_cv, "chunk_rows={chunk_rows}");
-        assert_eq!(report, mem_report, "chunk_rows={chunk_rows}");
+        for chunk_rows in chunk_sizes(mem.train_x.rows()) {
+            let bundle = StreamingBundle::open_with_format(&dir, format, chunk_rows).expect("open");
+            let (cv, report) = select_train_evaluate(&bundle, &config).expect("streamed protocol");
+            assert_eq!(cv, mem_cv, "{format:?} chunk_rows={chunk_rows}");
+            assert_eq!(report, mem_report, "{format:?} chunk_rows={chunk_rows}");
+        }
+
+        // The underlying generic cross-validation also matches a raw
+        // MemorySource sweep over the same trainval data.
+        let bundle = StreamingBundle::open_with_format(&dir, format, 5).expect("open");
+        let source = MemorySource::new(&mem.train_x, &mem.train_labels, &mem.seen_signatures);
+        let raw_cv = cross_validate(&source, &config).expect("raw cv");
+        let streamed_cv = cross_validate(&bundle, &config).expect("streamed cv");
+        assert_eq!(streamed_cv, raw_cv, "{format:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
-
-    // The underlying streamed cross-validation also matches the raw sweep.
-    let bundle = StreamingBundle::open(&dir, 5).expect("open");
-    let raw_cv = cross_validate(
-        &mem.train_x,
-        &mem.train_labels,
-        &mem.seen_signatures,
-        &config,
-    )
-    .expect("raw cv");
-    let streamed_cv = zsl_core::eval::cross_validate_stream(&bundle, &config).expect("streamed cv");
-    assert_eq!(streamed_cv, raw_cv);
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-fn shuffled_manifest_order_streams_bit_identically_via_indexed_reads() {
-    // A manifest whose split indices are NOT ascending exercises the
-    // seek-based indexed .zsb path; the in-memory gather honors manifest
-    // order, so the streamed side must too.
+fn shuffled_manifest_order_streams_bit_identically_on_both_formats() {
+    // A manifest whose split indices are NOT ascending exercises the indexed
+    // readers — seek-coalesced byte ranges on .zsb, the line index on CSV.
+    // The in-memory gather honors manifest order, so the streamed side must
+    // too, bit for bit.
     let ds = synthetic_dataset();
-    let dir = temp_dir("shuffled");
-    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
-    let manifest_path = dir.join(SPLITS_TXT);
-    let mut manifest = SplitManifest::read(&manifest_path).expect("manifest");
-    let mut rng = Rng::new(0xD15C);
-    rng.shuffle(&mut manifest.trainval);
-    rng.shuffle(&mut manifest.test_seen);
-    rng.shuffle(&mut manifest.test_unseen);
-    manifest.write(&manifest_path).expect("rewrite");
+    for format in [FeatureFormat::Zsb, FeatureFormat::Csv] {
+        let dir = temp_dir(&format!("shuffled_{format:?}"));
+        export_dataset(&ds, &dir, format).expect("export");
+        let manifest_path = dir.join(SPLITS_TXT);
+        let mut manifest = SplitManifest::read(&manifest_path).expect("manifest");
+        let mut rng = Rng::new(0xD15C);
+        rng.shuffle(&mut manifest.trainval);
+        rng.shuffle(&mut manifest.test_seen);
+        rng.shuffle(&mut manifest.test_unseen);
+        manifest.write(&manifest_path).expect("rewrite");
 
+        let mem = DatasetBundle::load_with_format(&dir, format)
+            .expect("load")
+            .to_dataset()
+            .expect("materialize");
+        let reference = EszslProblem::from_source(&mem).expect("problem");
+        let model = EszslConfig::new().build().fit(&mem).expect("fit");
+        let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine).expect("evaluate");
+
+        for chunk_rows in chunk_sizes(mem.train_x.rows()) {
+            let label = format!("{format:?} chunk_rows={chunk_rows}");
+            let bundle = StreamingBundle::open_with_format(&dir, format, chunk_rows).expect("open");
+            let streamed = streamed_problem(&bundle);
+            assert_eq!(
+                streamed.xtx().as_slice(),
+                reference.xtx().as_slice(),
+                "{label}"
+            );
+            assert_eq!(
+                streamed.xtys().as_slice(),
+                reference.xtys().as_slice(),
+                "{label}"
+            );
+            let report = evaluate_gzsl(&model, &bundle, Similarity::Cosine).expect("stream");
+            assert_eq!(report, mem_report, "{label}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn csv_cross_validation_subsets_stream_through_the_line_index() {
+    // CV folds stream trainval subsets in shuffled (non-ascending) order —
+    // the exact access pattern the CSV line index exists for. Verify the
+    // subset streams themselves, row for row, against the in-memory gather.
+    let ds = synthetic_dataset();
+    let dir = temp_dir("csv_subsets");
+    export_dataset(&ds, &dir, FeatureFormat::Csv).expect("export");
     let mem = DatasetBundle::load(&dir)
         .expect("load")
         .to_dataset()
         .expect("materialize");
-    let reference =
-        EszslProblem::new(&mem.train_x, &mem.train_labels, &mem.seen_signatures).expect("problem");
-    let model = EszslConfig::new()
-        .build()
-        .train(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
-        .expect("train");
-    let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine);
+    let n = mem.train_x.rows();
+    let mut positions: Vec<usize> = (0..n).collect();
+    Rng::new(0xF01D).shuffle(&mut positions);
+    // Repeats are allowed too (the fold machinery never produces them, but
+    // the reader contract does).
+    positions.push(positions[0]);
 
-    for chunk_rows in chunk_sizes(mem.train_x.rows()) {
+    for chunk_rows in chunk_sizes(n) {
         let bundle = StreamingBundle::open(&dir, chunk_rows).expect("open");
-        let streamed = streamed_problem(&bundle);
-        assert_eq!(
-            streamed.xtx().as_slice(),
-            reference.xtx().as_slice(),
-            "chunk_rows={chunk_rows}"
-        );
-        assert_eq!(
-            streamed.xtys().as_slice(),
-            reference.xtys().as_slice(),
-            "chunk_rows={chunk_rows}"
-        );
-        let report = evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("stream");
-        assert_eq!(report, mem_report, "chunk_rows={chunk_rows}");
-    }
-
-    // CSV cannot serve a shuffled manifest (no random access): typed error,
-    // not silent reordering.
-    std::fs::remove_file(dir.join("features.zsb")).expect("drop zsb");
-    export_dataset(&ds, &temp_dir("shuffled_csv_src"), FeatureFormat::Csv).ok();
-    let csv_dir = temp_dir("shuffled_csv");
-    export_dataset(&ds, &csv_dir, FeatureFormat::Csv).expect("export csv");
-    let mut csv_manifest = SplitManifest::read(&csv_dir.join(SPLITS_TXT)).expect("manifest");
-    csv_manifest.trainval.reverse();
-    csv_manifest
-        .write(&csv_dir.join(SPLITS_TXT))
-        .expect("rewrite");
-    let bundle = StreamingBundle::open(&csv_dir, 4).expect("open csv");
-    match bundle.stream_trainval() {
-        Err(zsl_core::DataError::Split { message }) => {
-            assert!(message.contains("re-export"), "got: {message}")
+        let mut got_rows: Vec<f64> = Vec::new();
+        let mut got_labels = Vec::new();
+        for chunk in bundle
+            .stream_trainval_subset(&positions)
+            .expect("subset stream")
+        {
+            let (x, labels) = chunk.expect("chunk");
+            assert!(x.rows() <= chunk_rows);
+            got_rows.extend_from_slice(x.as_slice());
+            got_labels.extend(labels);
         }
-        other => panic!("expected Split error for shuffled CSV stream, got {other:?}"),
+        let expected = mem.train_x.gather_rows(&positions);
+        let expected_labels: Vec<usize> = positions.iter().map(|&p| mem.train_labels[p]).collect();
+        assert_eq!(got_rows, expected.as_slice(), "chunk_rows={chunk_rows}");
+        assert_eq!(got_labels, expected_labels, "chunk_rows={chunk_rows}");
     }
     std::fs::remove_dir_all(&dir).ok();
-    std::fs::remove_dir_all(&csv_dir).ok();
-    std::fs::remove_dir_all(temp_dir("shuffled_csv_src")).ok();
 }
 
 #[test]
@@ -318,13 +338,9 @@ fn tiny_bundle_fixture_streams_bit_identically_in_both_formats() {
             .expect("load")
             .to_dataset()
             .expect("materialize");
-        let reference = EszslProblem::new(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
-            .expect("problem");
-        let model = EszslConfig::new()
-            .build()
-            .train(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
-            .expect("train");
-        let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine);
+        let reference = EszslProblem::from_source(&mem).expect("problem");
+        let model = EszslConfig::new().build().fit(&mem).expect("fit");
+        let mem_report = evaluate_gzsl(&model, &mem, Similarity::Cosine).expect("evaluate");
         for chunk_rows in chunk_sizes(mem.train_x.rows()) {
             let bundle = StreamingBundle::open_with_format(&dir, format, chunk_rows).expect("open");
             let streamed = streamed_problem(&bundle);
@@ -339,10 +355,49 @@ fn tiny_bundle_fixture_streams_bit_identically_in_both_formats() {
                 reference.xtys().as_slice(),
                 "{label}"
             );
-            let report = evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("stream");
+            let report = evaluate_gzsl(&model, &bundle, Similarity::Cosine).expect("stream");
             assert_eq!(report, mem_report, "{label}");
         }
     }
+}
+
+#[test]
+fn saved_zsm_engine_reproduces_the_fixture_report_after_reload() {
+    // The serving acceptance gate: a trained engine persists to .zsm, a
+    // fresh process reloads it WITHOUT the training data, and the GZSL
+    // report over the streamed fixture is bit-identical — both for a
+    // round-tripped engine and for the committed golden artifact.
+    let dir = fixture_dir();
+    let mem = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let model = EszslConfig::new()
+        .gamma(1.0)
+        .lambda(1.0)
+        .build()
+        .fit(&mem)
+        .expect("fit");
+    let bundle = StreamingBundle::open(&dir, 5).expect("open");
+    let fresh = evaluate_gzsl(&model, &bundle, Similarity::Cosine).expect("fresh report");
+
+    // Round trip through a temp artifact.
+    let engine = ScoringEngine::new(model, mem.all_signatures(), Similarity::Cosine);
+    let path = temp_dir("artifact").with_extension("zsm");
+    engine.save(&path).expect("save");
+    let reloaded = ScoringEngine::load(&path).expect("load");
+    let served = evaluate_gzsl_with(&reloaded, &bundle).expect("served report");
+    assert_eq!(served, fresh, "reloaded engine drifted from fresh engine");
+    assert_eq!(
+        served.harmonic_mean.to_bits(),
+        fresh.harmonic_mean.to_bits()
+    );
+    std::fs::remove_file(&path).ok();
+
+    // The committed golden artifact reproduces the same bits.
+    let golden = ScoringEngine::load(&dir.join("model.zsm")).expect("golden artifact");
+    let golden_report = evaluate_gzsl_with(&golden, &bundle).expect("golden report");
+    assert_eq!(golden_report, fresh, "committed model.zsm drifted");
 }
 
 #[test]
@@ -350,8 +405,9 @@ fn csv_file_shrinking_after_open_is_a_typed_error_not_a_smaller_split() {
     // A .zsb file re-validates its promised length on every open and maps a
     // mid-read shrink to Truncated. CSV has no header, so a file that loses
     // rows between StreamingBundle::open and a streaming pass would just end
-    // early — the stream must notice the missing selected rows and error
-    // rather than hand evaluators a silently smaller split.
+    // early — both the forward scan and the indexed reader must notice the
+    // missing selected rows and error rather than hand evaluators a silently
+    // smaller split.
     let ds = synthetic_dataset();
     let dir = temp_dir("csv_shrink");
     export_dataset(&ds, &dir, FeatureFormat::Csv).expect("export");
@@ -379,6 +435,35 @@ fn csv_file_shrinking_after_open_is_a_typed_error_not_a_smaller_split() {
 }
 
 #[test]
+fn indexed_csv_read_of_a_shrunken_file_is_a_typed_error() {
+    // Same shrink race, but through the line-index path: reverse the
+    // test_unseen manifest order BEFORE opening (forcing indexed reads),
+    // open (index built over the intact file), then delete the trailing rows.
+    let ds = synthetic_dataset();
+    let dir = temp_dir("csv_shrink_indexed");
+    export_dataset(&ds, &dir, FeatureFormat::Csv).expect("export");
+    let manifest_path = dir.join(SPLITS_TXT);
+    let mut manifest = SplitManifest::read(&manifest_path).expect("manifest");
+    manifest.test_unseen.reverse();
+    manifest.write(&manifest_path).expect("rewrite");
+    let bundle = StreamingBundle::open(&dir, 4).expect("open");
+
+    let csv_path = dir.join("features.csv");
+    let text = std::fs::read_to_string(&csv_path).expect("read");
+    let kept: Vec<&str> = text.lines().collect();
+    std::fs::write(&csv_path, kept[..kept.len() - 3].join("\n")).expect("shrink");
+
+    let outcome: Result<Vec<_>, _> = bundle.stream_test_unseen().expect("handle").collect();
+    match outcome {
+        Err(zsl_core::DataError::Shape { message }) => {
+            assert!(message.contains("shrank"), "got: {message}")
+        }
+        other => panic!("expected Shape error for shrunken indexed CSV, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn split_stream_fuses_after_first_error_without_fabricating_a_second() {
     // A parse error mid-CSV must surface exactly once; polling past it gets
     // None — not a bogus "file shrank" follow-up from the remaining-rows
@@ -391,7 +476,9 @@ fn split_stream_fuses_after_first_error_without_fabricating_a_second() {
     let csv_path = dir.join("features.csv");
     let text = std::fs::read_to_string(&csv_path).expect("read");
     let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
-    let mid = lines.len() / 2;
+    // Corrupt a line inside the trainval block (the export writes trainval
+    // rows first): the indexed reader only ever touches selected lines.
+    let mid = bundle.manifest().trainval.len() / 2;
     lines[mid] = "0,not_a_float,1.0".into();
     std::fs::write(&csv_path, lines.join("\n")).expect("corrupt");
 
@@ -413,46 +500,64 @@ fn split_stream_fuses_after_first_error_without_fabricating_a_second() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Satellite guarantee: the old `*_stream` names keep compiling and keep
+/// returning the exact bits of the generic path they now wrap.
 #[test]
-fn csv_streamed_protocol_rejects_cv_but_supports_fixed_hyperparams() {
-    // The CSV format supports the whole streamed pipeline except shuffled CV
-    // folds; the rejection is a typed InvalidConfig, and the fixed-(γ,λ)
-    // streamed path still matches in-memory bit-for-bit.
+#[allow(deprecated)]
+fn deprecated_stream_wrappers_still_reproduce_the_generic_results() {
     let ds = synthetic_dataset();
-    let dir = temp_dir("csv_protocol");
-    export_dataset(&ds, &dir, FeatureFormat::Csv).expect("export");
-    let bundle = StreamingBundle::open(&dir, 8).expect("open");
-    assert_eq!(bundle.format(), FeatureFormat::Csv);
-    let config = CrossValConfig::new().folds(2);
-    match select_train_evaluate_stream(&bundle, &config) {
-        Err(EvalError::InvalidConfig(msg)) => {
-            assert!(msg.contains("features.zsb"), "got: {msg}")
-        }
-        other => panic!("expected InvalidConfig for CSV CV, got {other:?}"),
-    }
-
+    let dir = temp_dir("wrappers");
+    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
+    let bundle = StreamingBundle::open(&dir, 5).expect("open");
     let mem = DatasetBundle::load(&dir)
         .expect("load")
         .to_dataset()
         .expect("materialize");
+    let config = CrossValConfig::new()
+        .gammas(vec![0.1, 1.0])
+        .lambdas(vec![1.0])
+        .folds(2)
+        .seed(3);
+
+    let (generic_cv, generic_report) =
+        select_train_evaluate(&bundle, &config).expect("generic protocol");
+    let (wrapped_cv, wrapped_report) =
+        zsl_core::eval::select_train_evaluate_stream(&bundle, &config).expect("wrapper protocol");
+    assert_eq!(wrapped_cv, generic_cv);
+    assert_eq!(wrapped_report, generic_report);
+
+    let model = EszslConfig::new().build().fit(&mem).expect("fit");
+    assert_eq!(
+        zsl_core::eval::evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("wrapper"),
+        evaluate_gzsl(&model, &bundle, Similarity::Cosine).expect("generic")
+    );
+    assert_eq!(
+        zsl_core::eval::cross_validate_stream(&bundle, &config).expect("wrapper"),
+        cross_validate(&bundle, &config).expect("generic")
+    );
+
+    // train_stream / predict_stream wrappers.
     let trainer = EszslConfig::new().gamma(0.5).lambda(2.0).build();
-    let mem_model = trainer
-        .train(&mem.train_x, &mem.train_labels, &mem.seen_signatures)
-        .expect("train");
     let stream = bundle
         .stream_trainval()
         .expect("stream")
-        .map(|r| r.map_err(EvalError::from));
-    let streamed_model: zsl_core::model::ProjectionModel = trainer
+        .map(|r| r.map_err(zsl_core::EvalError::from));
+    let streamed: zsl_core::ProjectionModel = trainer
         .train_stream(stream, &bundle.seen_signatures())
         .expect("train_stream");
+    let fitted = trainer.fit(&bundle).expect("fit");
+    assert_eq!(streamed.weights().as_slice(), fitted.weights().as_slice());
+
+    let engine = ScoringEngine::new(fitted, bundle.union_signatures(), Similarity::Cosine);
+    let chunks = bundle
+        .stream_test_seen()
+        .expect("stream")
+        .map(|r| r.map(|(x, _)| x));
     assert_eq!(
-        streamed_model.weights().as_slice(),
-        mem_model.weights().as_slice()
-    );
-    assert_eq!(
-        evaluate_gzsl_stream(&streamed_model, &bundle, Similarity::Cosine).expect("stream"),
-        evaluate_gzsl(&mem_model, &mem, Similarity::Cosine)
+        engine.predict_stream(chunks).expect("predict_stream"),
+        engine
+            .predict_source(&bundle, SplitKind::TestSeen)
+            .expect("predict_source")
     );
     std::fs::remove_dir_all(&dir).ok();
 }
