@@ -21,6 +21,10 @@
 //! # Serve: boot from the artifact alone (no training data, no re-solve)
 //! # and score a bundle's test splits:
 //! cargo run --release --example eval_dataset -- predict /tmp/zsl_bundle --load /tmp/model.zsm
+//!
+//! # Or serve the same artifact as a long-running daemon (coalesced
+//! # batching + hot-swap on re-save; see crates/serve):
+//! cargo run --release -p zsl-serve -- /tmp/model.zsm
 //! ```
 //!
 //! `eval`, `train`, and `predict` all accept `--stream`: the same generic

@@ -29,8 +29,9 @@
 //!
 //! Errors follow the `.zsb` loader's discipline: typed [`DataError`]s for
 //! I/O failures, truncation, bad magic, version skew, unknown flags,
-//! overflowing dimensions, and non-finite payloads — never a panic on
-//! untrusted bytes. `tests/model_artifacts.rs` covers the error paths and a
+//! overflowing dimensions, non-finite payloads, and — because a loaded
+//! cosine bank is trusted verbatim forever — bank rows whose L2 norm is not
+//! 1 within [`ZSM_NORM_TOLERANCE`] — never a panic on untrusted bytes. `tests/model_artifacts.rs` covers the error paths and a
 //! committed golden artifact; `tests/streaming_equiv.rs` checks that a
 //! reloaded engine reproduces the golden fixture's `GzslReport` bits.
 
@@ -40,6 +41,7 @@ use crate::infer::{ScoringEngine, Similarity};
 use crate::linalg::Matrix;
 use crate::model::ProjectionModel;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes opening every `.zsm` model artifact.
 pub const ZSM_MAGIC: [u8; 4] = *b"ZSMF";
@@ -47,6 +49,15 @@ pub const ZSM_MAGIC: [u8; 4] = *b"ZSMF";
 pub const ZSM_VERSION: u16 = 1;
 /// Fixed `.zsm` header length in bytes (the metadata block follows it).
 pub const ZSM_HEADER_LEN: u64 = 48;
+/// How far a pre-normalized (cosine) bank row's L2 norm may drift from 1
+/// before the loader rejects the artifact as corrupt. Banks normalized in
+/// f64 land within ~1e-15 of 1, so this is generous for rounding and tight
+/// against real corruption (an all-zero or rescaled row).
+pub const ZSM_NORM_TOLERANCE: f64 = 1e-6;
+
+/// Process-wide counter making concurrent temp-file names unique; see
+/// [`ScoringEngine::save_with_metadata`].
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Flags bit 0: the signature bank bytes are already L2-normalized (set iff
 /// the similarity is cosine).
@@ -75,6 +86,21 @@ impl ScoringEngine {
     pub fn save_with_metadata(&self, path: &Path, metadata: &str) -> Result<(), ZslError> {
         let w = self.model().weights();
         let bank = self.signatures();
+        // A cosine engine's cached bank must be unit-norm row by row — the
+        // loader enforces exactly that (nothing downstream ever re-normalizes
+        // a loaded bank), so refuse to write an artifact we would refuse to
+        // read. The only way to get here is a degenerate all-zero signature
+        // row, which `l2_normalize_rows` leaves at zero.
+        if self.similarity() == Similarity::Cosine {
+            if let Some(r) = first_non_unit_row(bank) {
+                return Err(ZslError::Config(format!(
+                    "cannot persist cosine engine: cached signature bank row {r} has L2 norm \
+                     {:.6e}, not 1 (an all-zero signature row cannot be cosine-scored and would \
+                     be rejected at load)",
+                    row_norm(bank, r)
+                )));
+            }
+        }
         let d = w.rows();
         let a = w.cols();
         let z = bank.rows();
@@ -105,14 +131,22 @@ impl ScoringEngine {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
         // Temp file in the same directory (renames across filesystems fail),
-        // named after the target so concurrent saves to different artifacts
-        // cannot collide. The data is fsynced before the rename — without
-        // that, delayed allocation can commit the rename before the bytes
-        // and a power loss would leave a truncated "new" artifact. Any
-        // failure cleans the temp file up rather than leaving partial bytes
-        // (e.g. on a full disk) behind.
+        // named after the target plus a pid + process-wide-counter suffix so
+        // *no* two concurrent saves share a temp file — not even two saves to
+        // the same target path, which is exactly what a hot-swap retrainer
+        // does (a deterministic `<target>.tmp` let two such saves interleave
+        // writes into one file and rename a corrupt blend into place). The
+        // data is fsynced before the rename — without that, delayed
+        // allocation can commit the rename before the bytes and a power loss
+        // would leave a truncated "new" artifact. Any failure cleans the temp
+        // file up rather than leaving partial bytes (e.g. on a full disk)
+        // behind.
         let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-        tmp_name.push(".tmp");
+        tmp_name.push(format!(
+            ".{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
         let tmp = path.with_file_name(tmp_name);
         let write_synced = (|| {
             let mut file = std::fs::File::create(&tmp)?;
@@ -303,15 +337,48 @@ fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
     let w = parse_block("weight", meta_end, d, a)?;
     let bank = parse_block("signature", meta_end + 8 * d * a, z, a)?;
 
+    // A pre-normalized bank is trusted verbatim by the engine — nothing
+    // downstream ever re-normalizes it — so a corrupted or crafted cosine
+    // bank (an all-zero row, a rescaled row) would silently mis-score every
+    // request forever. Reject non-unit rows here, at the trust boundary.
+    if prenormalized {
+        if let Some(r) = first_non_unit_row(&bank) {
+            return Err(DataError::header(
+                path,
+                format!(
+                    "cosine signature bank row {r} has L2 norm {:.6e}, expected 1 within \
+                     {ZSM_NORM_TOLERANCE:e}; the pre-normalized bank is corrupt",
+                    row_norm(&bank, r)
+                ),
+            ));
+        }
+    }
+
     // from_cached_parts takes the bank exactly as stored — no
     // re-normalization — which is what makes the round trip bit-identical.
+    // Its validation failures (shape/finiteness inconsistencies a crafted
+    // header could smuggle past the checks above) are typed errors: this is
+    // the serving boot path, and it must never panic on untrusted bytes.
     let engine = ScoringEngine::from_cached_parts(
         ProjectionModel::from_weights(w),
         bank,
         similarity,
         crate::linalg::default_threads(),
-    );
+    )
+    .map_err(|msg| DataError::header(path, format!("inconsistent model payload: {msg}")))?;
     Ok((engine, metadata))
+}
+
+/// L2 norm of one bank row.
+fn row_norm(bank: &Matrix, r: usize) -> f64 {
+    bank.row(r).iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Index of the first row whose L2 norm is not within
+/// [`ZSM_NORM_TOLERANCE`] of 1, if any — the shared check behind the cosine
+/// save guard and the load-time corruption gate.
+fn first_non_unit_row(bank: &Matrix) -> Option<usize> {
+    (0..bank.rows()).find(|&r| (row_norm(bank, r) - 1.0).abs() > ZSM_NORM_TOLERANCE)
 }
 
 #[cfg(test)]

@@ -95,7 +95,10 @@ impl ScoringEngine {
     ///
     /// Panics if the bank is empty, zero-width, contains a non-finite value,
     /// or its width does not match the model's attribute dimension — bad data
-    /// fails here, at construction, not at scoring time.
+    /// fails here, at construction, not at scoring time. Code handling
+    /// *untrusted* inputs (a serving daemon booting from an artifact it did
+    /// not write) must use [`ScoringEngine::try_new`] instead, where the same
+    /// conditions are typed [`ZslError::Config`] values.
     pub fn new(model: ProjectionModel, signatures: Matrix, similarity: Similarity) -> Self {
         Self::with_threads(model, signatures, similarity, default_threads())
     }
@@ -104,27 +107,50 @@ impl ScoringEngine {
     /// (`0` is treated as `1`).
     pub fn with_threads(
         model: ProjectionModel,
-        mut signatures: Matrix,
+        signatures: Matrix,
         similarity: Similarity,
         threads: usize,
     ) -> Self {
-        validate_signature_bank(&signatures);
-        assert_eq!(
-            model.weights().cols(),
-            signatures.cols(),
-            "model attribute dim {} != signature dim {}",
-            model.weights().cols(),
-            signatures.cols()
-        );
+        match Self::try_with_threads(model, signatures, similarity, threads) {
+            Ok(engine) => engine,
+            Err(ZslError::Config(msg)) => panic!("{msg}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ScoringEngine::new`]: every construction-time validation
+    /// failure (empty / zero-width / non-finite bank, attribute-dimension
+    /// mismatch) is a typed [`ZslError::Config`] instead of a panic.
+    ///
+    /// This is the constructor for serving paths fed by untrusted input —
+    /// a daemon's boot/reload must degrade to an error response, never
+    /// abort the process.
+    pub fn try_new(
+        model: ProjectionModel,
+        signatures: Matrix,
+        similarity: Similarity,
+    ) -> Result<Self, ZslError> {
+        Self::try_with_threads(model, signatures, similarity, default_threads())
+    }
+
+    /// [`ScoringEngine::try_new`] with an explicit worker-thread count
+    /// (`0` is treated as `1`).
+    pub fn try_with_threads(
+        model: ProjectionModel,
+        mut signatures: Matrix,
+        similarity: Similarity,
+        threads: usize,
+    ) -> Result<Self, ZslError> {
+        check_engine_parts(&model, &signatures).map_err(ZslError::Config)?;
         if similarity == Similarity::Cosine {
             signatures.l2_normalize_rows();
         }
-        ScoringEngine {
+        Ok(ScoringEngine {
             model,
             signatures,
             similarity,
             threads: threads.max(1),
-        }
+        })
     }
 
     /// Reassemble an engine from an *already prepared* cached bank — the
@@ -135,27 +161,25 @@ impl ScoringEngine {
     /// built, and normalizing it again would divide by norms of ≈1.0 (not
     /// exactly 1.0) and perturb the cached bits. Skipping that step is what
     /// makes a save/load round trip reproduce predictions bit-for-bit.
-    /// Validation (non-empty, finite, width match) still runs.
+    /// Validation (non-empty, finite, width match) still runs, and — because
+    /// this constructor sits on the daemon's load/reload path, where input is
+    /// untrusted by definition — failures are typed errors, never panics.
+    /// The caller (the `.zsm` loader) additionally checks that a cosine
+    /// bank's rows really are unit-norm, since nothing downstream will ever
+    /// re-normalize them.
     pub(crate) fn from_cached_parts(
         model: ProjectionModel,
         signatures: Matrix,
         similarity: Similarity,
         threads: usize,
-    ) -> Self {
-        validate_signature_bank(&signatures);
-        assert_eq!(
-            model.weights().cols(),
-            signatures.cols(),
-            "model attribute dim {} != signature dim {}",
-            model.weights().cols(),
-            signatures.cols()
-        );
-        ScoringEngine {
+    ) -> Result<Self, String> {
+        check_engine_parts(&model, &signatures)?;
+        Ok(ScoringEngine {
             model,
             signatures,
             similarity,
             threads: threads.max(1),
-        }
+        })
     }
 
     /// Number of candidate classes.
@@ -332,6 +356,18 @@ impl Classifier {
         }
     }
 
+    /// Fallible [`Classifier::new`]: construction failures are typed
+    /// [`ZslError::Config`] values, mirroring [`ScoringEngine::try_new`].
+    pub fn try_new(
+        model: ProjectionModel,
+        signatures: Matrix,
+        similarity: Similarity,
+    ) -> Result<Self, ZslError> {
+        Ok(Classifier {
+            engine: ScoringEngine::try_new(model, signatures, similarity)?,
+        })
+    }
+
     /// Number of candidate classes.
     pub fn num_classes(&self) -> usize {
         self.engine.num_classes()
@@ -369,25 +405,41 @@ impl Classifier {
     }
 }
 
-/// Construction-time guard: empty, zero-width, or non-finite signature banks
-/// panic here with a pointed message instead of producing NaN scores later.
-fn validate_signature_bank(signatures: &Matrix) {
-    assert!(
-        signatures.rows() > 0,
-        "classifier needs at least one class signature"
-    );
-    assert!(
-        signatures.cols() > 0,
-        "classifier signature bank is zero-width (attr_dim = 0); every class needs at least one attribute"
-    );
+/// The ONE construction-time validation behind every engine constructor:
+/// empty, zero-width, or non-finite signature banks and attribute-dimension
+/// mismatches are reported as an error message. The panicking constructors
+/// ([`ScoringEngine::new`], [`Classifier::new`]) turn the message into a
+/// panic; the fallible ones ([`ScoringEngine::try_new`], the `.zsm` loader)
+/// turn it into a typed error.
+fn check_engine_parts(model: &ProjectionModel, signatures: &Matrix) -> Result<(), String> {
+    if signatures.rows() == 0 {
+        return Err("classifier needs at least one class signature".into());
+    }
+    if signatures.cols() == 0 {
+        return Err(
+            "classifier signature bank is zero-width (attr_dim = 0); every class needs at least \
+             one attribute"
+                .into(),
+        );
+    }
     for r in 0..signatures.rows() {
         for (c, &v) in signatures.row(r).iter().enumerate() {
-            assert!(
-                v.is_finite(),
-                "signature bank contains non-finite value {v} at row {r}, col {c}; clean the bank before constructing a classifier"
-            );
+            if !v.is_finite() {
+                return Err(format!(
+                    "signature bank contains non-finite value {v} at row {r}, col {c}; clean the \
+                     bank before constructing a classifier"
+                ));
+            }
         }
     }
+    if model.weights().cols() != signatures.cols() {
+        return Err(format!(
+            "model attribute dim {} != signature dim {}",
+            model.weights().cols(),
+            signatures.cols()
+        ));
+    }
+    Ok(())
 }
 
 /// Index of the row maximum under [`f64::total_cmp`], first index winning

@@ -105,7 +105,7 @@ pub mod model;
 pub mod pipeline;
 pub mod source;
 
-pub use artifact::{ZSM_HEADER_LEN, ZSM_MAGIC, ZSM_VERSION};
+pub use artifact::{ZSM_HEADER_LEN, ZSM_MAGIC, ZSM_NORM_TOLERANCE, ZSM_VERSION};
 pub use data::{
     export_dataset, ClassMap, CsvChunkReader, CsvIndexedReader, CsvLineIndex, DataError, Dataset,
     DatasetBundle, FeatureChunk, FeatureFormat, FeatureTable, Rng, SplitManifest, SplitPlan,

@@ -17,6 +17,8 @@
 //!    non-finite payloads are all typed [`DataError`]s, never panics.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use zsl_core::data::{DataError, DatasetBundle, Rng};
 use zsl_core::eval::evaluate_gzsl_with;
 use zsl_core::infer::{ScoringEngine, Similarity};
@@ -118,6 +120,183 @@ fn random_models_round_trip_to_bit_identical_predictions() {
             std::fs::remove_file(&path2).ok();
         }
     }
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency layer: the race fixes a hot-swap deployment leans on
+// ---------------------------------------------------------------------------
+
+/// Regression for the deterministic-temp-name race: two concurrent saves to
+/// the *same* target path (the hot-swap retrainer scenario) used to share
+/// one `<target>.tmp` file, interleave writes, and rename a corrupt blend
+/// into place. With pid+counter-unique temp names, every rename installs
+/// one complete artifact — so a racing reader must only ever see one of the
+/// legal variants, byte-for-byte.
+#[test]
+fn concurrent_saves_to_one_path_never_install_a_blend() {
+    let path = temp_path("save_race");
+    // Distinguishable variants with *different* byte lengths (different
+    // metadata and class counts), so an interleaved blend could not pass
+    // for either: any mixing breaks the exact-length check or the payload
+    // comparison below.
+    let variants: Vec<(ScoringEngine, String)> = (0..3)
+        .map(|i| {
+            let engine = random_engine(0x5A + i, 4, 3, 5 + i as usize, Similarity::Cosine);
+            let metadata = format!("variant={i}; {}", "x".repeat(10 * (i as usize + 1)));
+            (engine, metadata)
+        })
+        .collect();
+    variants[0]
+        .0
+        .save_with_metadata(&path, &variants[0].1)
+        .expect("seed save");
+    let legal: Vec<Vec<u8>> = variants
+        .iter()
+        .map(|(engine, metadata)| {
+            let p = temp_path("save_race_ref");
+            engine.save_with_metadata(&p, metadata).expect("ref save");
+            let bytes = std::fs::read(&p).expect("read ref");
+            std::fs::remove_file(&p).ok();
+            bytes
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..3)
+        .map(|w| {
+            let path = path.clone();
+            let (engine, metadata) = variants[w].clone();
+            std::thread::spawn(move || {
+                for _ in 0..40 {
+                    engine.save_with_metadata(&path, &metadata).expect("save");
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let path = path.clone();
+            let legal = legal.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut loads = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    // Every load must parse cleanly (rename is atomic) AND
+                    // match one complete variant exactly.
+                    let bytes = std::fs::read(&path).expect("read");
+                    assert!(
+                        legal.iter().any(|l| l == &bytes),
+                        "reader saw a blended artifact ({} bytes, legal: {:?})",
+                        bytes.len(),
+                        legal.iter().map(Vec::len).collect::<Vec<_>>()
+                    );
+                    let engine = ScoringEngine::load(&path).expect("load mid-save");
+                    assert!(engine.num_classes() >= 5);
+                    loads += 1;
+                }
+                loads
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().expect("reader") > 0, "reader never loaded");
+    }
+    // No temp litter left behind in the directory.
+    let dir = path.parent().expect("parent");
+    let stem = path
+        .file_name()
+        .expect("name")
+        .to_string_lossy()
+        .into_owned();
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with(&stem) && n.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Cosine-bank norm validation (load + save gates)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corrupted_cosine_bank_rows_are_header_errors_not_silent_mis_scoring() {
+    let (path, pristine) = valid_artifact_bytes("norms");
+    let bank_start = ZSM_HEADER_LEN as usize + 1 + 8 * 4 * 3;
+
+    // An all-zero bank row (the in-place corruption the load gate exists
+    // for: `from_cached_parts` never re-normalizes, so this would otherwise
+    // serve scores of exactly 0 for that class forever).
+    let mut zero_row = pristine.clone();
+    zero_row[bank_start..bank_start + 8 * 3].fill(0);
+    std::fs::write(&path, &zero_row).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => {
+            assert!(message.contains("norm"), "{message}");
+            assert!(message.contains("row 0"), "{message}");
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+
+    // A rescaled row — unit direction, wrong length — is just as corrupt.
+    let mut scaled_row = pristine.clone();
+    for i in 0..3 {
+        let offset = bank_start + 8 * (3 + i);
+        let v = f64::from_le_bytes(scaled_row[offset..offset + 8].try_into().unwrap());
+        scaled_row[offset..offset + 8].copy_from_slice(&(v * 0.5).to_le_bytes());
+    }
+    std::fs::write(&path, &scaled_row).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => assert!(message.contains("row 1"), "{message}"),
+        other => panic!("expected Header, got {other:?}"),
+    }
+
+    // A dot-similarity artifact carries no normalization claim: the same
+    // zeroed row loads fine there.
+    let dot_path = temp_path("norms_dot");
+    random_engine(7, 4, 3, 5, Similarity::Dot)
+        .save_with_metadata(&dot_path, "m")
+        .expect("save dot");
+    let mut dot_bytes = std::fs::read(&dot_path).expect("read");
+    dot_bytes[bank_start..bank_start + 8 * 3].fill(0);
+    std::fs::write(&dot_path, &dot_bytes).expect("write");
+    ScoringEngine::load(&dot_path).expect("dot artifact with zero row loads");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&dot_path).ok();
+}
+
+#[test]
+fn saving_a_cosine_engine_with_a_zero_signature_row_is_a_typed_error() {
+    // `l2_normalize_rows` leaves an all-zero signature row at zero, so a
+    // cosine engine can legally hold one in memory — but persisting it
+    // would write an artifact the loader (correctly) rejects. The save
+    // gate turns that into an immediate Config error instead of a delayed
+    // boot failure on the serving box.
+    let model = ProjectionModel::from_weights(Matrix::identity(3));
+    let bank = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]]);
+    let engine = ScoringEngine::new(model, bank, Similarity::Cosine);
+    let path = temp_path("zero_row_save");
+    match engine.save(&path) {
+        Err(ZslError::Config(msg)) => {
+            assert!(msg.contains("row 1"), "{msg}");
+            assert!(!path.exists(), "rejected save still wrote a file");
+        }
+        other => panic!("expected Config error, got {other:?}"),
+    }
+    // The same bank under dot similarity persists and round-trips fine.
+    let model = ProjectionModel::from_weights(Matrix::identity(3));
+    let bank = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]]);
+    let engine = ScoringEngine::new(model, bank, Similarity::Dot);
+    engine.save(&path).expect("dot save");
+    ScoringEngine::load(&path).expect("dot load");
     std::fs::remove_file(&path).ok();
 }
 

@@ -139,3 +139,63 @@ fn predict_topk_equals_full_sort_on_trained_pipeline() {
         }
     }
 }
+
+#[test]
+fn predict_topk_k_zero_and_k_beyond_class_count() {
+    let (model, signatures, x) = trained_setup();
+    let engine = ScoringEngine::new(model, signatures, Similarity::Cosine);
+    let z = engine.num_classes();
+
+    // k = 0: one (empty) ranking per sample, no scores materialized.
+    let empty = engine.predict_topk(&x, 0);
+    assert_eq!(empty.len(), x.rows());
+    assert!(empty
+        .iter()
+        .all(|t| t.classes.is_empty() && t.scores.is_empty()));
+
+    // k far beyond the class count clamps to exactly z entries, identical
+    // to asking for z directly.
+    let clamped = engine.predict_topk(&x, z + 1000);
+    let exact = engine.predict_topk(&x, z);
+    assert_eq!(clamped, exact);
+    assert!(clamped.iter().all(|t| t.classes.len() == z));
+    // The head of every ranking is the argmax (same total order, same
+    // first-index tie-break).
+    assert_eq!(
+        clamped.iter().map(|t| t.classes[0]).collect::<Vec<_>>(),
+        engine.predict(&x)
+    );
+}
+
+#[test]
+fn try_new_returns_typed_errors_where_new_panics() {
+    use zsl_core::ZslError;
+    let identity = || ProjectionModel::from_weights(Matrix::identity(2));
+
+    for (what, bank) in [
+        ("empty", Matrix::zeros(0, 2)),
+        ("zero-width", Matrix::zeros(3, 0)),
+        ("non-finite", Matrix::from_rows(&[vec![1.0, f64::NAN]])),
+        ("width mismatch", Matrix::zeros(3, 5)),
+    ] {
+        match ScoringEngine::try_new(identity(), bank.clone(), Similarity::Cosine) {
+            Err(ZslError::Config(msg)) => assert!(!msg.is_empty(), "{what}"),
+            other => panic!("{what}: expected Config error, got {other:?}"),
+        }
+        // The Classifier mirror behaves identically.
+        assert!(matches!(
+            Classifier::try_new(identity(), bank, Similarity::Cosine),
+            Err(ZslError::Config(_))
+        ));
+    }
+
+    // A valid bank builds the same engine `new` does, bit for bit.
+    let bank = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 5.0]]);
+    let fallible =
+        ScoringEngine::try_new(identity(), bank.clone(), Similarity::Cosine).expect("valid");
+    let panicking = ScoringEngine::new(identity(), bank, Similarity::Cosine);
+    assert_eq!(
+        fallible.signatures().as_slice(),
+        panicking.signatures().as_slice()
+    );
+}

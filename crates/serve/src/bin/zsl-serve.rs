@@ -1,0 +1,112 @@
+//! `zsl-serve` — boot a prediction daemon from a `.zsm` model artifact.
+//!
+//! ```sh
+//! # Train + persist a model with the core CLI, then serve it:
+//! cargo run --release --example eval_dataset -- train /tmp/zsl_bundle --save /tmp/model.zsm
+//! cargo run --release -p zsl-serve -- /tmp/model.zsm --addr 127.0.0.1:7878
+//!
+//! # Score rows (one per line, values comma/space separated):
+//! curl -s http://127.0.0.1:7878/predict?k=3 --data-binary $'0.1 0.2 0.3\n1 2 3'
+//! curl -s http://127.0.0.1:7878/healthz
+//! curl -s http://127.0.0.1:7878/stats
+//!
+//! # Hot-swap: re-save the artifact (atomic rename) and the watcher picks
+//! # it up; or force it:
+//! curl -s -X POST http://127.0.0.1:7878/reload
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+use zsl_serve::{BatchConfig, Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: zsl-serve <model.zsm> [--addr HOST:PORT] [--max-batch N] [--linger-us N] \
+         [--watch-ms N | --no-watch] [--max-body-mb N]\n\n\
+         Boots a prediction server from the .zsm artifact alone. Concurrent requests are\n\
+         coalesced into batches (up to --max-batch rows, lingering --linger-us for\n\
+         stragglers); the artifact path is polled every --watch-ms and hot-swapped\n\
+         atomically on change."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(model_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut batch = BatchConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--no-watch" {
+            config.watch_interval = None;
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("{flag} needs a value");
+            return usage();
+        };
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--max-batch" => match value.parse() {
+                Ok(n) if n > 0 => batch.max_batch = n,
+                _ => return usage(),
+            },
+            "--linger-us" => match value.parse() {
+                Ok(us) => batch.linger = Duration::from_micros(us),
+                Err(_) => return usage(),
+            },
+            "--watch-ms" => match value.parse() {
+                Ok(ms) => config.watch_interval = Some(Duration::from_millis(ms)),
+                Err(_) => return usage(),
+            },
+            "--max-body-mb" => match value.parse::<usize>() {
+                Ok(mb) if mb > 0 => config.max_body_bytes = mb << 20,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    config.batch = batch;
+
+    let server = match Server::start(model_path.as_ref(), config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            let mut source = std::error::Error::source(&e);
+            while let Some(inner) = source {
+                eprintln!("  caused by: {inner}");
+                source = inner.source();
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = server.model().snapshot();
+    println!(
+        "zsl-serve: model {} ({} features -> {} attrs -> {} classes, {} similarity), \
+         generation {}",
+        model_path,
+        snapshot.engine.model().weights().rows(),
+        snapshot.engine.model().weights().cols(),
+        snapshot.engine.num_classes(),
+        snapshot.engine.similarity(),
+        snapshot.generation,
+    );
+    println!(
+        "zsl-serve: listening on http://{} (max_batch={}, linger={:?}, watch={:?})",
+        server.addr(),
+        config.batch.max_batch,
+        config.batch.linger,
+        config.watch_interval,
+    );
+    server.run_until_stopped();
+    ExitCode::SUCCESS
+}

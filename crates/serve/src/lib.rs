@@ -1,0 +1,46 @@
+//! # zsl-serve — the prediction-serving daemon over `.zsm` artifacts
+//!
+//! A long-running server that boots from a [`zsl_core`] `.zsm` model
+//! artifact **alone** — no training data, no re-solve — and scores feature
+//! vectors over HTTP through the engine's chunked parallel kernels.
+//! Everything is `std`-only: no async runtime, no HTTP or serialization
+//! dependencies.
+//!
+//! The production-scale pieces, in module order:
+//!
+//! | module | role |
+//! |--------|------|
+//! | [`model`] | ONE immutable `Arc<ScoringEngine>` shared across request threads, plus hot-swap reload: a watcher polls the artifact path and atomically swaps the `Arc` on change, leaning on the writer's fsync + unique-temp + rename discipline so a swap only ever installs a complete model |
+//! | [`batch`] | the request coalescer: concurrent single-row requests linger briefly and merge into one matrix, so the row-banded matmul sees wide inputs instead of degenerate 1-row calls |
+//! | [`http`] | minimal HTTP/1.1 front end: `/predict` (batched scoring, `?k=` rankings), `/healthz`, `/stats`, `/model`, `/reload` |
+//! | [`stats`] | lock-free counters proving the batches really form (`max_batch_rows`, `coalesced_batches`) and tracking reloads |
+//! | [`error`] | [`ServeError`]: every failure on the serving path is typed — untrusted request bytes and untrusted artifact bytes can never panic the daemon |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use zsl_serve::{Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), zsl_serve::ServeError> {
+//! let server = Server::start("model.zsm".as_ref(), ServerConfig::default())?;
+//! println!("serving on http://{}", server.addr());
+//! server.run_until_stopped();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `zsl-serve` binary wraps exactly this. Latency/throughput numbers
+//! (p50/p99 per request, requests/s) are recorded as `[bench]` lines by
+//! `tests/throughput.rs`, mirroring the core crate's harness.
+
+pub mod batch;
+pub mod error;
+pub mod http;
+pub mod model;
+pub mod stats;
+
+pub use batch::{BatchConfig, Coalescer, RowResult};
+pub use error::ServeError;
+pub use http::{Server, ServerConfig};
+pub use model::{spawn_watcher, ModelHandle, ModelSnapshot};
+pub use stats::{ServeStats, StatsSnapshot};

@@ -1,0 +1,236 @@
+//! Hot-swappable model state: one immutable engine shared by every request
+//! thread, atomically replaced when the artifact on disk changes.
+//!
+//! The serving invariants:
+//!
+//! - Request threads see **one immutable [`ScoringEngine`]** behind an
+//!   `Arc`: a snapshot taken at batch time keeps scoring that exact model
+//!   even if a reload lands mid-batch, so no batch ever mixes two models.
+//! - Reload goes through [`ScoringEngine::load_with_metadata`], which
+//!   validates the entire artifact before anything is swapped — combined
+//!   with the writer side's fsync + unique-temp + rename discipline, a
+//!   swap can only ever install a complete old or complete new model,
+//!   never a partial or blended one.
+//! - Reload **never panics**: every failure is a typed error, counted and
+//!   logged, and the previous model keeps serving.
+
+use crate::error::ServeError;
+use crate::stats::ServeStats;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, SystemTime};
+use zsl_core::ScoringEngine;
+
+/// One immutable, fully-validated model: what a request thread scores with.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    /// The scoring engine, shared across request threads.
+    pub engine: Arc<ScoringEngine>,
+    /// Provenance metadata stored in the artifact, verbatim.
+    pub metadata: String,
+    /// Monotonic swap counter: 1 for the boot model, +1 per successful
+    /// reload. Responses echo it so clients can observe swaps.
+    pub generation: u64,
+}
+
+/// On-disk identity of the artifact last loaded, used to detect changes
+/// without re-reading the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Fingerprint {
+    len: u64,
+    modified: Option<SystemTime>,
+}
+
+impl Fingerprint {
+    fn probe(path: &Path) -> std::io::Result<Fingerprint> {
+        let meta = std::fs::metadata(path)?;
+        Ok(Fingerprint {
+            len: meta.len(),
+            modified: meta.modified().ok(),
+        })
+    }
+}
+
+/// The daemon's model slot: boots from a `.zsm` artifact, hands out
+/// snapshots, and swaps in re-validated replacements atomically.
+#[derive(Debug)]
+pub struct ModelHandle {
+    path: PathBuf,
+    current: RwLock<(Arc<ModelSnapshot>, Fingerprint)>,
+    stats: Arc<ServeStats>,
+}
+
+impl ModelHandle {
+    /// Boot from the artifact at `path`. This is the daemon's cold start:
+    /// the box needs the `.zsm` file and nothing else — no training data,
+    /// no re-solve. A bad artifact is a typed error, never a panic.
+    pub fn boot(path: &Path, stats: Arc<ServeStats>) -> Result<ModelHandle, ServeError> {
+        let fingerprint = Fingerprint::probe(path)?;
+        let (engine, metadata) = ScoringEngine::load_with_metadata(path)?;
+        let snapshot = Arc::new(ModelSnapshot {
+            engine: Arc::new(engine),
+            metadata,
+            generation: 1,
+        });
+        Ok(ModelHandle {
+            path: path.to_path_buf(),
+            current: RwLock::new((snapshot, fingerprint)),
+            stats,
+        })
+    }
+
+    /// Path of the artifact this handle watches.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The current model. Cheap (one `Arc` clone under a read lock); the
+    /// returned snapshot stays valid — and immutable — for as long as the
+    /// caller holds it, regardless of concurrent swaps.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.current.read().expect("model lock poisoned").0.clone()
+    }
+
+    /// Generation of the current model.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().generation
+    }
+
+    /// Reload the artifact unconditionally. On success the new model is
+    /// swapped in atomically and `Ok(generation)` is returned; on failure
+    /// the old model keeps serving and the error is returned (and counted).
+    pub fn reload(&self) -> Result<u64, ServeError> {
+        let fingerprint = Fingerprint::probe(&self.path).map_err(|e| {
+            self.stats.record_reload(false);
+            ServeError::Io(e)
+        })?;
+        match ScoringEngine::load_with_metadata(&self.path) {
+            Ok((engine, metadata)) => {
+                let mut slot = self.current.write().expect("model lock poisoned");
+                let generation = slot.0.generation + 1;
+                *slot = (
+                    Arc::new(ModelSnapshot {
+                        engine: Arc::new(engine),
+                        metadata,
+                        generation,
+                    }),
+                    fingerprint,
+                );
+                self.stats.record_reload(true);
+                Ok(generation)
+            }
+            Err(e) => {
+                self.stats.record_reload(false);
+                Err(ServeError::Model(e))
+            }
+        }
+    }
+
+    /// Reload only if the artifact's on-disk fingerprint (length + mtime)
+    /// changed since the last successful load — the watcher's poll step.
+    /// Returns `Ok(Some(generation))` after a swap, `Ok(None)` when the
+    /// file is unchanged.
+    pub fn poll(&self) -> Result<Option<u64>, ServeError> {
+        let fingerprint = Fingerprint::probe(&self.path)?;
+        let unchanged = self.current.read().expect("model lock poisoned").1 == fingerprint;
+        if unchanged {
+            return Ok(None);
+        }
+        self.reload().map(Some)
+    }
+}
+
+/// Watch the artifact path in a background thread, polling every
+/// `interval` and hot-swapping the model on change. Reload failures are
+/// counted and otherwise ignored — a half-second of stale model beats a
+/// dead daemon. Returns the join handle; the thread exits promptly once
+/// `stop` is set.
+pub fn spawn_watcher(
+    model: Arc<ModelHandle>,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("zsl-serve-watcher".into())
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                // Ignore poll errors here: a transient stat/read failure (or
+                // a writer mid-replace on a non-atomic filesystem) must not
+                // kill the watcher; the failure is already counted.
+                let _ = model.poll();
+                std::thread::sleep(interval);
+            }
+        })
+        .expect("spawn watcher thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsl_core::data::Rng;
+    use zsl_core::model::ProjectionModel;
+    use zsl_core::{Matrix, Similarity};
+
+    fn temp_artifact(tag: &str, seed: u64) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("zsl_serve_model_{}_{tag}.zsm", std::process::id()));
+        let mut rng = Rng::new(seed);
+        let w = Matrix::from_vec(3, 2, (0..6).map(|_| rng.normal()).collect());
+        let bank = Matrix::from_vec(4, 2, (0..8).map(|_| rng.normal()).collect());
+        ScoringEngine::new(ProjectionModel::from_weights(w), bank, Similarity::Dot)
+            .save_with_metadata(&path, &format!("seed={seed}"))
+            .expect("save");
+        path
+    }
+
+    #[test]
+    fn boot_snapshot_and_forced_reload_bump_generation() {
+        let path = temp_artifact("reload", 1);
+        let stats = Arc::new(ServeStats::new());
+        let handle = ModelHandle::boot(&path, stats.clone()).expect("boot");
+        assert_eq!(handle.generation(), 1);
+        assert_eq!(handle.snapshot().metadata, "seed=1");
+        let generation = handle.reload().expect("reload");
+        assert_eq!(generation, 2);
+        assert_eq!(stats.snapshot().reloads, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poll_swaps_only_on_change_and_failure_keeps_old_model() {
+        let path = temp_artifact("poll", 2);
+        let stats = Arc::new(ServeStats::new());
+        let handle = ModelHandle::boot(&path, stats.clone()).expect("boot");
+        assert_eq!(handle.poll().expect("poll"), None, "unchanged file swapped");
+
+        // Corrupt the artifact in place (not via the atomic save path):
+        // reload must fail with a typed error and keep the boot model.
+        std::fs::write(&path, b"garbage").expect("corrupt");
+        assert!(matches!(handle.poll(), Err(ServeError::Model(_))));
+        assert_eq!(handle.generation(), 1, "old model must keep serving");
+        assert_eq!(stats.snapshot().reload_failures, 1);
+
+        // A valid replacement written through the atomic save path swaps in.
+        let mut rng = Rng::new(9);
+        let w = Matrix::from_vec(3, 2, (0..6).map(|_| rng.normal()).collect());
+        let bank = Matrix::from_vec(4, 2, (0..8).map(|_| rng.normal()).collect());
+        ScoringEngine::new(ProjectionModel::from_weights(w), bank, Similarity::Dot)
+            .save_with_metadata(&path, "replacement")
+            .expect("save");
+        assert_eq!(handle.poll().expect("poll"), Some(2));
+        assert_eq!(handle.snapshot().metadata, "replacement");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_artifact_is_a_typed_boot_error() {
+        let path = std::env::temp_dir().join("zsl_serve_model_missing.zsm");
+        std::fs::remove_file(&path).ok();
+        let stats = Arc::new(ServeStats::new());
+        assert!(matches!(
+            ModelHandle::boot(&path, stats),
+            Err(ServeError::Io(_))
+        ));
+    }
+}

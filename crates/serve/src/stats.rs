@@ -1,0 +1,127 @@
+//! Lock-free serving counters.
+//!
+//! Every counter is a relaxed atomic: the stats are observability, not
+//! synchronization, and the hot path must not pay for them. A
+//! [`StatsSnapshot`] is a plain copy taken at read time — the acceptance
+//! evidence that request coalescing actually happens under load
+//! (`max_batch_rows > 1`) is read from here by tests and `/stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters shared by the coalescer, the model watcher, and the HTTP layer.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// HTTP requests accepted (any route).
+    requests: AtomicU64,
+    /// Feature rows scored.
+    rows: AtomicU64,
+    /// Batches executed by the coalescing worker.
+    batches: AtomicU64,
+    /// Widest batch (in rows) executed so far.
+    max_batch_rows: AtomicU64,
+    /// Batches that coalesced more than one row — the whole point of the
+    /// batching layer.
+    coalesced_batches: AtomicU64,
+    /// Successful hot-swap model reloads.
+    reloads: AtomicU64,
+    /// Failed reload attempts (old model kept serving).
+    reload_failures: AtomicU64,
+    /// Requests rejected with a protocol error.
+    rejected: AtomicU64,
+}
+
+/// One consistent-enough copy of the counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub rows: u64,
+    pub batches: u64,
+    pub max_batch_rows: u64,
+    pub coalesced_batches: u64,
+    pub reloads: u64,
+    pub reload_failures: u64,
+    pub rejected: u64,
+}
+
+impl ServeStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one executed batch of `rows` coalesced rows.
+    pub fn record_batch(&self, rows: usize) {
+        let rows = rows as u64;
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+        self.max_batch_rows.fetch_max(rows, Ordering::Relaxed);
+        if rows > 1 {
+            self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_reload(&self, ok: bool) {
+        if ok {
+            self.reloads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reload_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch_rows: self.max_batch_rows.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// `key=value` lines, one per counter — the `/stats` response body.
+    pub fn render(&self) -> String {
+        format!(
+            "requests={}\nrows={}\nbatches={}\nmax_batch_rows={}\ncoalesced_batches={}\n\
+             reloads={}\nreload_failures={}\nrejected={}\n",
+            self.requests,
+            self.rows,
+            self.batches,
+            self.max_batch_rows,
+            self.coalesced_batches,
+            self.reloads,
+            self.reload_failures,
+            self.rejected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_recording_tracks_width_and_coalescing() {
+        let stats = ServeStats::new();
+        stats.record_batch(1);
+        stats.record_batch(7);
+        stats.record_batch(3);
+        let snap = stats.snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.rows, 11);
+        assert_eq!(snap.max_batch_rows, 7);
+        assert_eq!(snap.coalesced_batches, 2);
+        assert!(snap.render().contains("max_batch_rows=7"));
+    }
+}

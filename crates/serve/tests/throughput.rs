@@ -1,0 +1,273 @@
+//! Release-mode serving-latency harness, mirroring the core crate's
+//! `tests/throughput.rs` discipline: `#[ignore]`d, run with
+//!
+//! ```sh
+//! cargo test --release -p zsl-serve --test throughput -- --ignored --nocapture
+//! ```
+//!
+//! `ZSL_BENCH_SMOKE=1` (CI) shrinks the workload. Each run prints stable
+//! `[bench]`-prefixed lines — per-request p50/p99 latency and end-to-end
+//! throughput through the full socket → parse → coalesce → kernel →
+//! respond path — so future serving PRs diff against this baseline.
+//! Setting `ZSL_BENCH_JSON=<path>` additionally writes the numbers as a
+//! JSON snapshot (the committed `BENCH_serving.json` trajectory).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zsl_core::data::Rng;
+use zsl_core::model::ProjectionModel;
+use zsl_core::{Matrix, ScoringEngine, Similarity};
+use zsl_serve::{BatchConfig, Server, ServerConfig};
+
+struct Workload {
+    d: usize,
+    a: usize,
+    z: usize,
+    clients: usize,
+    requests_per_client: usize,
+}
+
+fn smoke() -> bool {
+    std::env::var("ZSL_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn workload() -> Workload {
+    if smoke() {
+        Workload {
+            d: 128,
+            a: 32,
+            z: 64,
+            clients: 4,
+            requests_per_client: 50,
+        }
+    } else {
+        Workload {
+            d: 512,
+            a: 64,
+            z: 256,
+            clients: 8,
+            requests_per_client: 250,
+        }
+    }
+}
+
+/// One keep-alive client connection issuing single-row predicts and timing
+/// each round trip.
+fn client_loop(
+    addr: SocketAddr,
+    engine: &ScoringEngine,
+    seed: u64,
+    requests: usize,
+) -> Vec<Duration> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.set_nodelay(true).ok();
+    let mut rng = Rng::new(seed);
+    let d = engine.model().weights().rows();
+    let mut latencies = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let row: Vec<f64> = (0..d).map(|_| rng.normal()).collect();
+        let body = row
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+            + "\n";
+        let request = format!(
+            "POST /predict HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let start = Instant::now();
+        stream.write_all(request.as_bytes()).expect("write");
+        let response = read_one_response(&mut stream);
+        latencies.push(start.elapsed());
+        // Correctness inside the bench: the served class is the engine's.
+        let x = Matrix::from_vec(1, d, row);
+        let expected = format!("class={} ", engine.predict(&x)[0]);
+        assert!(
+            response.starts_with(&expected),
+            "served wrong class: {response} (expected {expected})"
+        );
+    }
+    latencies
+}
+
+fn read_one_response(stream: &mut TcpStream) -> String {
+    let mut header = Vec::new();
+    let mut one = [0u8; 1];
+    while !header.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut one).expect("read header");
+        header.push(one[0]);
+    }
+    let text = String::from_utf8(header).expect("utf8");
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    let length: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("length")
+        .trim()
+        .parse()
+        .expect("parse length");
+    let mut payload = vec![0u8; length];
+    stream.read_exact(&mut payload).expect("read body");
+    String::from_utf8(payload).expect("utf8 body")
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let index = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[index]
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn serving_latency_and_throughput_under_concurrent_load() {
+    let w = workload();
+    let mut rng = Rng::new(0x5E12);
+    let weights = Matrix::from_vec(w.d, w.a, (0..w.d * w.a).map(|_| rng.normal()).collect());
+    let bank = Matrix::from_vec(w.z, w.a, (0..w.z * w.a).map(|_| rng.normal()).collect());
+    let engine = ScoringEngine::new(
+        ProjectionModel::from_weights(weights),
+        bank,
+        Similarity::Cosine,
+    );
+    let path = std::env::temp_dir().join(format!("zsl_serve_bench_{}.zsm", std::process::id()));
+    engine.save(&path).expect("save");
+
+    let batch = BatchConfig {
+        max_batch: 256,
+        linger: Duration::from_micros(200),
+    };
+    let server = Server::start(
+        &path,
+        ServerConfig {
+            batch,
+            watch_interval: None,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+    let engine = Arc::new(engine);
+
+    // Warm-up: one request per client's worth of connections.
+    client_loop(addr, &engine, 1, 2);
+
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..w.clients)
+        .map(|c| {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                client_loop(addr, &engine, 0xC0FE + c as u64, w.requests_per_client)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client"))
+        .collect();
+    let elapsed = wall.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    let total = latencies.len();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = total as f64 / elapsed;
+    let stats = server.stats();
+    println!(
+        "[bench] serving d={} a={} z={} clients={} requests={} batch(max={},linger={}us): \
+         p50={:.3}ms p99={:.3}ms throughput={:.0} req/s max_batch_rows={} coalesced_batches={}",
+        w.d,
+        w.a,
+        w.z,
+        w.clients,
+        total,
+        batch.max_batch,
+        batch.linger.as_micros(),
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        throughput,
+        stats.max_batch_rows,
+        stats.coalesced_batches,
+    );
+
+    // Acceptance: under concurrent load the coalescer must actually form
+    // wide batches — single-row scoring wastes the row-banded kernels.
+    if w.clients > 1 {
+        assert!(
+            stats.max_batch_rows > 1,
+            "no batch ever coalesced more than one row: {stats:?}"
+        );
+    }
+
+    if let Ok(json_path) = std::env::var("ZSL_BENCH_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"serving\",\n  \"smoke\": {},\n  \"workload\": {{ \"d\": {}, \
+             \"a\": {}, \"z\": {}, \"clients\": {}, \"requests\": {} }},\n  \"batch\": {{ \
+             \"max_batch\": {}, \"linger_us\": {} }},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
+             \"throughput_rps\": {:.1},\n  \"max_batch_rows\": {},\n  \"coalesced_batches\": {}\n}}\n",
+            smoke(),
+            w.d,
+            w.a,
+            w.z,
+            w.clients,
+            total,
+            batch.max_batch,
+            batch.linger.as_micros(),
+            p50.as_micros(),
+            p99.as_micros(),
+            throughput,
+            stats.max_batch_rows,
+            stats.coalesced_batches,
+        );
+        std::fs::write(&json_path, json).expect("write bench json");
+        println!("[bench] wrote {json_path}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn hot_swap_latency_is_bounded_by_one_artifact_load() {
+    // How long does a reload take, i.e. how stale can a swapped model be?
+    // The bound a deployment cares about: watcher interval + this.
+    let w = workload();
+    let mut rng = Rng::new(0x5A7E);
+    let weights = Matrix::from_vec(w.d, w.a, (0..w.d * w.a).map(|_| rng.normal()).collect());
+    let bank = Matrix::from_vec(w.z, w.a, (0..w.z * w.a).map(|_| rng.normal()).collect());
+    let engine = ScoringEngine::new(
+        ProjectionModel::from_weights(weights),
+        bank,
+        Similarity::Cosine,
+    );
+    let path = std::env::temp_dir().join(format!("zsl_swap_bench_{}.zsm", std::process::id()));
+    engine.save(&path).expect("save");
+    let server = Server::start(
+        &path,
+        ServerConfig {
+            watch_interval: None,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+
+    let iters = if smoke() { 3 } else { 10 };
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        server.model().reload().expect("reload");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "[bench] hot-swap d={} a={} z={} artifact={:.1} KiB: reload={:.3}ms",
+        w.d,
+        w.a,
+        w.z,
+        std::fs::metadata(&path).expect("meta").len() as f64 / 1024.0,
+        best * 1e3
+    );
+    std::fs::remove_file(&path).ok();
+}
