@@ -10,6 +10,12 @@
 //! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle
 //! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle --folds 5 --sim dot
 //!
+//! # Swap the model family — every trainer runs through the same generic
+//! # CV → fit → evaluate path (SAE sweeps only λ; the RBF kernel defaults
+//! # its width to 1/d):
+//! cargo run --release --example eval_dataset -- eval /tmp/zsl_bundle --model sae
+//! cargo run --release --example eval_dataset -- train /tmp/zsl_bundle --model eszsl-rbf --save /tmp/model.zsm
+//!
 //! # Same protocol, but out-of-core: features are streamed from disk in
 //! # --chunk-rows blocks and never materialized (bit-identical reports).
 //! # Works on both formats — CSV bundles get shuffled reads via a line index:
@@ -40,15 +46,40 @@ use zsl_core::data::{
 use zsl_core::eval::{evaluate_gzsl_with, CrossValConfig};
 use zsl_core::infer::{ScoringEngine, Similarity};
 use zsl_core::source::{FeatureSource, SplitKind};
+use zsl_core::trainer::{KernelEszslConfig, KernelKind, SaeConfig};
 use zsl_core::Pipeline;
+
+/// Model family selected with `--model`; each dispatches to its [`Trainer`]
+/// through the same [`Pipeline`] facade.
+///
+/// [`Trainer`]: zsl_core::trainer::Trainer
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ModelChoice {
+    Eszsl,
+    Sae,
+    EszslRbf,
+}
+
+impl std::str::FromStr for ModelChoice {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "eszsl" => Ok(Self::Eszsl),
+            "sae" => Ok(Self::Sae),
+            "eszsl-rbf" => Ok(Self::EszslRbf),
+            _ => Err(()),
+        }
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  eval_dataset export <dir> [--csv] [--seed N]\n  \
-         eval_dataset eval <dir> [--csv] [--folds K] [--seed N] [--sim cosine|dot] \
-         [--stream] [--chunk-rows N]\n  \
-         eval_dataset train <dir> --save <model.zsm> [--csv] [--folds K] [--seed N] \
+         eval_dataset eval <dir> [--csv] [--model eszsl|sae|eszsl-rbf] [--folds K] [--seed N] \
          [--sim cosine|dot] [--stream] [--chunk-rows N]\n  \
+         eval_dataset train <dir> --save <model.zsm> [--csv] [--model eszsl|sae|eszsl-rbf] \
+         [--folds K] [--seed N] [--sim cosine|dot] [--stream] [--chunk-rows N]\n  \
          eval_dataset predict <dir> --load <model.zsm> [--csv] [--stream] [--chunk-rows N]"
     );
     ExitCode::FAILURE
@@ -56,13 +87,14 @@ fn usage() -> ExitCode {
 
 /// Open the bundle as either source kind and hand it to `run` through the
 /// one generic `FeatureSource` interface — the same code path serves
-/// in-memory and out-of-core ingestion.
+/// in-memory and out-of-core ingestion. The feature width rides along
+/// because the trait hides it (trainers learn it from the stream).
 fn with_source(
     dir: &std::path::Path,
     format: Option<FeatureFormat>,
     stream: bool,
     chunk_rows: usize,
-    run: impl FnOnce(&dyn FeatureSource) -> ExitCode,
+    run: impl FnOnce(&dyn FeatureSource, usize) -> ExitCode,
 ) -> ExitCode {
     if stream {
         let opened = match format {
@@ -99,7 +131,8 @@ fn with_source(
                 .saturating_mul(8)
                 / 1024
         );
-        run(&bundle)
+        let d = bundle.feature_dim();
+        run(&bundle, d)
     } else {
         let loaded = match format {
             Some(f) => DatasetBundle::load_with_format(dir, f),
@@ -119,6 +152,7 @@ fn with_source(
             bundle.num_classes(),
             bundle.attr_dim()
         );
+        let d = bundle.feature_dim();
         let ds = match bundle.to_dataset() {
             Ok(ds) => ds,
             Err(e) => {
@@ -126,7 +160,7 @@ fn with_source(
                 return ExitCode::FAILURE;
             }
         };
-        run(&ds)
+        run(&ds, d)
     }
 }
 
@@ -161,6 +195,7 @@ fn main() -> ExitCode {
             "--stream",
             "--chunk-rows",
             "--save",
+            "--model",
         ],
         "predict" => &["--csv", "--stream", "--chunk-rows", "--load"],
         _ => &[
@@ -170,6 +205,7 @@ fn main() -> ExitCode {
             "--sim",
             "--stream",
             "--chunk-rows",
+            "--model",
         ],
     };
     let mut format: Option<FeatureFormat> = None;
@@ -179,6 +215,7 @@ fn main() -> ExitCode {
     let mut stream = false;
     let mut chunk_rows: usize = 4096;
     let mut model_path: Option<PathBuf> = None;
+    let mut model_choice = ModelChoice::Eszsl;
     let mut rest = args[2..].iter();
     while let Some(flag) = rest.next() {
         if !allowed.contains(&flag.as_str()) {
@@ -188,7 +225,7 @@ fn main() -> ExitCode {
         match flag.as_str() {
             "--csv" => format = Some(FeatureFormat::Csv),
             "--stream" => stream = true,
-            "--seed" | "--folds" | "--sim" | "--chunk-rows" | "--save" | "--load" => {
+            "--seed" | "--folds" | "--sim" | "--chunk-rows" | "--save" | "--load" | "--model" => {
                 let Some(value) = rest.next() else {
                     eprintln!("{flag} needs a value");
                     return usage();
@@ -201,6 +238,7 @@ fn main() -> ExitCode {
                         model_path = Some(PathBuf::from(value));
                         true
                     }
+                    "--model" => value.parse().map(|v| model_choice = v).is_ok(),
                     _ => value.parse().map(|v| similarity = v).is_ok(),
                 };
                 if !ok {
@@ -250,10 +288,28 @@ fn main() -> ExitCode {
                 .folds(folds)
                 .seed(seed)
                 .similarity(similarity);
-            with_source(&dir, format, stream, chunk_rows, |source| {
+            with_source(&dir, format, stream, chunk_rows, |source, feature_dim| {
                 print_splits(source);
                 // The documented front door: CV → fit → (evaluate | save).
-                let trained = match Pipeline::from(source).cross_validate(&config) {
+                // `--model` swaps the trainer; everything downstream (the
+                // sweep, the fit, the .zsm payload) follows the choice.
+                let pipeline = match model_choice {
+                    ModelChoice::Eszsl => Pipeline::from(source),
+                    ModelChoice::Sae => {
+                        Pipeline::from(source).with_trainer(SaeConfig::new().build())
+                    }
+                    ModelChoice::EszslRbf => {
+                        // Median-free heuristic: width 1/d keeps the squared
+                        // distances in the exponent O(1) for unit-ish features.
+                        let width = 1.0 / feature_dim as f64;
+                        Pipeline::from(source).with_trainer(
+                            KernelEszslConfig::new()
+                                .kernel(KernelKind::Rbf { width })
+                                .build(),
+                        )
+                    }
+                };
+                let trained = match pipeline.cross_validate(&config) {
                     Ok(p) => match p.train() {
                         Ok(t) => t,
                         Err(e) => {
@@ -280,9 +336,13 @@ fn main() -> ExitCode {
                     );
                 }
                 println!(
-                    "selected gamma={} lambda={} (val acc {:.4})\n",
+                    "selected gamma={} lambda={} (val acc {:.4})",
                     cv.best.gamma, cv.best.lambda, cv.best.mean_accuracy
                 );
+                if let Some(trainer) = trained.trainer() {
+                    println!("model: {}", trainer.describe());
+                }
+                println!();
                 if let Some(path) = &save_to {
                     if let Err(e) = trained.save(path) {
                         eprintln!("saving model artifact failed: {e}");
@@ -318,8 +378,9 @@ fn main() -> ExitCode {
                 }
             };
             println!(
-                "loaded {}: {} classes x {} attributes, {} similarity",
+                "loaded {}: {} model, {} classes x {} attributes, {} similarity",
                 path.display(),
+                engine.model().family(),
                 engine.num_classes(),
                 engine.signatures().cols(),
                 engine.similarity()
@@ -327,7 +388,7 @@ fn main() -> ExitCode {
             if !metadata.is_empty() {
                 println!("provenance: {metadata}");
             }
-            with_source(&dir, format, stream, chunk_rows, |source| {
+            with_source(&dir, format, stream, chunk_rows, |source, _feature_dim| {
                 print_splits(source);
                 match evaluate_gzsl_with(&engine, source) {
                     Ok(report) => {

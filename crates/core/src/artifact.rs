@@ -8,17 +8,28 @@
 //! | offset | size  | field |
 //! |-------:|------:|-------|
 //! | 0      | 4     | magic `"ZSMF"` |
-//! | 4      | 2     | version (= 1) |
+//! | 4      | 2     | version (= 2; version-1 files still load) |
 //! | 6      | 2     | flags (bit 0: bank stored pre-normalized) |
 //! | 8      | 1     | similarity (0 = cosine, 1 = dot) |
-//! | 9      | 7     | reserved (= 0) |
+//! | 9      | 1     | model family (0 = eszsl, 1 = sae, 2 = kernel-eszsl; must be 0 in v1 files, where this byte was reserved) |
+//! | 10     | 6     | reserved (= 0) |
 //! | 16     | 8     | `feature_dim` d (u64) |
 //! | 24     | 8     | `attr_dim` a (u64) |
 //! | 32     | 8     | `class_count` z (u64) |
 //! | 40     | 8     | provenance metadata byte length m (u64) |
 //! | 48     | m     | provenance metadata, UTF-8 |
-//! | 48+m   | 8·d·a | projection `W`, row-major f64 |
+//! | 48+m   | …     | per-family model payload (below) |
 //! | …      | 8·z·a | signature bank, row-major f64, exactly as cached |
+//!
+//! Per-family model payload:
+//!
+//! - **eszsl / sae** (linear families): the projection `W : d x a`,
+//!   row-major f64 — byte-compatible with the whole v1 payload.
+//! - **kernel-eszsl**: a 24-byte kernel block — kernel code (u8; 0 = linear,
+//!   1 = rbf), 7 reserved zero bytes, RBF width (f64; 0 for linear), anchor
+//!   count `k` (u64) — then dual weights `alpha : k x a` and anchors
+//!   `k x d`, row-major f64. This is everything kernel scoring needs: the
+//!   daemon boots from the artifact alone.
 //!
 //! All integers and floats are little-endian. The signature bank is written
 //! **exactly as the engine caches it** — already L2-normalized for cosine
@@ -26,6 +37,12 @@
 //! re-normalizing, so a save/load round trip reproduces scores and
 //! predictions **bit-for-bit** (re-normalizing an already-normalized bank
 //! would divide by norms of ≈1.0 and perturb the cached bits).
+//!
+//! Writers always emit the current version; the reader accepts 1 and 2. A
+//! v1 file parses exactly as it always did (its reserved family byte is
+//! zero, so it loads as ESZSL); a v2 file whose version field is rewritten
+//! to 1 fails the v1 reserved-byte check with a typed header error unless it
+//! really is a plain ESZSL projection.
 //!
 //! Errors follow the `.zsb` loader's discipline: typed [`DataError`]s for
 //! I/O failures, truncation, bad magic, version skew, unknown flags,
@@ -40,13 +57,20 @@ use crate::error::ZslError;
 use crate::infer::{ScoringEngine, Similarity};
 use crate::linalg::Matrix;
 use crate::model::ProjectionModel;
+use crate::trainer::{KernelKind, KernelModel, ModelFamily, TrainedModel};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes opening every `.zsm` model artifact.
 pub const ZSM_MAGIC: [u8; 4] = *b"ZSMF";
-/// Current `.zsm` format version.
-pub const ZSM_VERSION: u16 = 1;
+/// Current `.zsm` format version (writers emit this; the reader also still
+/// accepts version 1, whose files load as ESZSL).
+pub const ZSM_VERSION: u16 = 2;
+/// Oldest `.zsm` format version the reader accepts.
+pub const ZSM_MIN_VERSION: u16 = 1;
+/// Size of the kernel-family payload prelude: kernel code (1), reserved (7),
+/// RBF width (8), anchor count (8).
+const ZSM_KERNEL_BLOCK_LEN: usize = 24;
 /// Fixed `.zsm` header length in bytes (the metadata block follows it).
 pub const ZSM_HEADER_LEN: u64 = 48;
 /// How far a pre-normalized (cosine) bank row's L2 norm may drift from 1
@@ -84,7 +108,7 @@ impl ScoringEngine {
     /// Reloading reproduces predictions bit-for-bit; the worker-thread count
     /// is a runtime property and is not stored.
     pub fn save_with_metadata(&self, path: &Path, metadata: &str) -> Result<(), ZslError> {
-        let w = self.model().weights();
+        let model = self.model();
         let bank = self.signatures();
         // A cosine engine's cached bank must be unit-norm row by row — the
         // loader enforces exactly that (nothing downstream ever re-normalizes
@@ -101,8 +125,8 @@ impl ScoringEngine {
                 )));
             }
         }
-        let d = w.rows();
-        let a = w.cols();
+        let d = model.feature_dim();
+        let a = model.attr_dim();
         let z = bank.rows();
         let mut bytes =
             Vec::with_capacity(ZSM_HEADER_LEN as usize + metadata.len() + 8 * (d * a + z * a));
@@ -118,14 +142,35 @@ impl ScoringEngine {
             Similarity::Cosine => 0,
             Similarity::Dot => 1,
         });
-        bytes.extend_from_slice(&[0u8; 7]); // reserved
+        bytes.push(model.family().code());
+        bytes.extend_from_slice(&[0u8; 6]); // reserved
         bytes.extend_from_slice(&(d as u64).to_le_bytes());
         bytes.extend_from_slice(&(a as u64).to_le_bytes());
         bytes.extend_from_slice(&(z as u64).to_le_bytes());
         bytes.extend_from_slice(&(metadata.len() as u64).to_le_bytes());
         bytes.extend_from_slice(metadata.as_bytes());
-        for &v in w.as_slice() {
-            bytes.extend_from_slice(&v.to_le_bytes());
+        match model {
+            TrainedModel::Eszsl(m) | TrainedModel::Sae(m) => {
+                for &v in m.weights().as_slice() {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            TrainedModel::Kernel(km) => {
+                bytes.push(km.kernel().code());
+                bytes.extend_from_slice(&[0u8; 7]); // reserved
+                let width = match km.kernel() {
+                    KernelKind::Linear => 0.0f64,
+                    KernelKind::Rbf { width } => width,
+                };
+                bytes.extend_from_slice(&width.to_le_bytes());
+                bytes.extend_from_slice(&(km.anchors().rows() as u64).to_le_bytes());
+                for &v in km.alpha().as_slice() {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                for &v in km.anchors().as_slice() {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
         }
         for &v in bank.as_slice() {
             bytes.extend_from_slice(&v.to_le_bytes());
@@ -204,10 +249,13 @@ fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
         ));
     }
     let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
-    if version != ZSM_VERSION {
+    if !(ZSM_MIN_VERSION..=ZSM_VERSION).contains(&version) {
         return Err(DataError::header(
             path,
-            format!("unsupported version {version}, this reader handles {ZSM_VERSION}"),
+            format!(
+                "unsupported version {version}, this reader handles \
+                 {ZSM_MIN_VERSION}-{ZSM_VERSION}"
+            ),
         ));
     }
     let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
@@ -237,12 +285,34 @@ fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
             ),
         ));
     }
-    if bytes[9..16].iter().any(|&b| b != 0) {
-        return Err(DataError::header(
-            path,
-            "reserved header bytes are non-zero",
-        ));
-    }
+    // Byte 9 is the model family in v2; in v1 it was reserved (= 0), which is
+    // exactly the ESZSL family code — so a genuine v1 file decodes as ESZSL,
+    // and a v2 SAE/kernel file whose version was rewritten to 1 fails the
+    // reserved-zero check rather than being misread as a projection.
+    let family = if version == 1 {
+        if bytes[9..16].iter().any(|&b| b != 0) {
+            return Err(DataError::header(
+                path,
+                "reserved header bytes are non-zero",
+            ));
+        }
+        ModelFamily::Eszsl
+    } else {
+        let code = bytes[9];
+        let Some(family) = ModelFamily::from_code(code) else {
+            return Err(DataError::header(
+                path,
+                format!("unknown model family code {code}, expected 0 (eszsl), 1 (sae), or 2 (kernel-eszsl)"),
+            ));
+        };
+        if bytes[10..16].iter().any(|&b| b != 0) {
+            return Err(DataError::header(
+                path,
+                "reserved header bytes are non-zero",
+            ));
+        }
+        family
+    };
 
     let d = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
     let a = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
@@ -258,21 +328,88 @@ fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
     // Header fields are untrusted: checked arithmetic keeps crafted dims from
     // wrapping the expected length back into range, and the usize conversions
     // reject payloads unaddressable on this platform.
-    let expected = 8u64
-        .checked_mul(d)
-        .and_then(|wd| wd.checked_mul(a))
-        .and_then(|w_bytes| 8u64.checked_mul(z)?.checked_mul(a)?.checked_add(w_bytes))
-        .and_then(|payload| payload.checked_add(meta_len))
-        .and_then(|payload| payload.checked_add(ZSM_HEADER_LEN));
-    let Some(expected) = expected else {
-        return Err(DataError::header(
+    let overflow = || {
+        DataError::header(
             path,
             format!(
                 "header dims overflow: feature_dim={d} x attr_dim={a}, class_count={z}, \
                  metadata_len={meta_len}"
             ),
-        ));
+        )
     };
+    let prefix = ZSM_HEADER_LEN.checked_add(meta_len).ok_or_else(overflow)?;
+    let bank_bytes = 8u64
+        .checked_mul(z)
+        .and_then(|b| b.checked_mul(a))
+        .ok_or_else(overflow)?;
+    // The kernel family stores its anchor count inside the payload, so the
+    // expected file length depends on payload bytes — which must themselves
+    // be bounds-checked before they are read.
+    let (model_bytes, kernel_parts) = match family {
+        ModelFamily::Eszsl | ModelFamily::Sae => {
+            let w_bytes = 8u64
+                .checked_mul(d)
+                .and_then(|b| b.checked_mul(a))
+                .ok_or_else(overflow)?;
+            (w_bytes, None)
+        }
+        ModelFamily::KernelEszsl => {
+            let block_end = prefix
+                .checked_add(ZSM_KERNEL_BLOCK_LEN as u64)
+                .ok_or_else(overflow)?;
+            if actual < block_end {
+                return Err(DataError::Truncated {
+                    path: path.into(),
+                    expected: block_end,
+                    actual,
+                });
+            }
+            let p = prefix as usize;
+            let code = bytes[p];
+            if bytes[p + 1..p + 8].iter().any(|&b| b != 0) {
+                return Err(DataError::header(
+                    path,
+                    "reserved kernel block bytes are non-zero",
+                ));
+            }
+            let width = f64::from_le_bytes(bytes[p + 8..p + 16].try_into().expect("8 bytes"));
+            let k = u64::from_le_bytes(bytes[p + 16..p + 24].try_into().expect("8 bytes"));
+            let Some(kernel) = KernelKind::from_code(code, width) else {
+                return Err(DataError::header(
+                    path,
+                    format!("unknown kernel code {code}, expected 0 (linear) or 1 (rbf)"),
+                ));
+            };
+            match kernel {
+                KernelKind::Linear if width != 0.0 => {
+                    return Err(DataError::header(
+                        path,
+                        format!("linear kernel stores a non-zero width {width}"),
+                    ));
+                }
+                KernelKind::Rbf { width } if !(width.is_finite() && width > 0.0) => {
+                    return Err(DataError::header(
+                        path,
+                        format!("rbf kernel width must be positive and finite, got {width}"),
+                    ));
+                }
+                _ => {}
+            }
+            if k == 0 {
+                return Err(DataError::header(path, "kernel payload has zero anchors"));
+            }
+            let blob = a
+                .checked_add(d)
+                .and_then(|cols| 8u64.checked_mul(k)?.checked_mul(cols))
+                .and_then(|b| b.checked_add(ZSM_KERNEL_BLOCK_LEN as u64))
+                .ok_or_else(overflow)?;
+            (blob, Some((kernel, k)))
+        }
+    };
+    let expected = prefix
+        .checked_add(model_bytes)
+        .and_then(|x| x.checked_add(bank_bytes))
+        .ok_or_else(overflow)?;
     let dims = usize::try_from(d)
         .ok()
         .zip(usize::try_from(a).ok())
@@ -334,8 +471,29 @@ fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
         }
         Ok(Matrix::from_vec(rows, cols, data))
     };
-    let w = parse_block("weight", meta_end, d, a)?;
-    let bank = parse_block("signature", meta_end + 8 * d * a, z, a)?;
+    // `expected == actual` and the file is in memory, so every payload
+    // extent below fits usize on this platform.
+    let model = match kernel_parts {
+        None => {
+            let w = parse_block("weight", meta_end, d, a)?;
+            let m = ProjectionModel::from_weights(w);
+            match family {
+                ModelFamily::Eszsl => TrainedModel::Eszsl(m),
+                ModelFamily::Sae => TrainedModel::Sae(m),
+                ModelFamily::KernelEszsl => unreachable!("kernel family carries kernel_parts"),
+            }
+        }
+        Some((kernel, k)) => {
+            let k = k as usize;
+            let alpha_start = meta_end + ZSM_KERNEL_BLOCK_LEN;
+            let alpha = parse_block("dual weight", alpha_start, k, a)?;
+            let anchors = parse_block("anchor", alpha_start + 8 * k * a, k, d)?;
+            KernelModel::from_parts(alpha, anchors, kernel)
+                .map(TrainedModel::Kernel)
+                .map_err(|e| DataError::header(path, format!("inconsistent kernel payload: {e}")))?
+        }
+    };
+    let bank = parse_block("signature", meta_end + model_bytes as usize, z, a)?;
 
     // A pre-normalized bank is trusted verbatim by the engine — nothing
     // downstream ever re-normalizes it — so a corrupted or crafted cosine
@@ -359,13 +517,9 @@ fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
     // Its validation failures (shape/finiteness inconsistencies a crafted
     // header could smuggle past the checks above) are typed errors: this is
     // the serving boot path, and it must never panic on untrusted bytes.
-    let engine = ScoringEngine::from_cached_parts(
-        ProjectionModel::from_weights(w),
-        bank,
-        similarity,
-        crate::linalg::default_threads(),
-    )
-    .map_err(|msg| DataError::header(path, format!("inconsistent model payload: {msg}")))?;
+    let engine =
+        ScoringEngine::from_cached_parts(model, bank, similarity, crate::linalg::default_threads())
+            .map_err(|msg| DataError::header(path, format!("inconsistent model payload: {msg}")))?;
     Ok((engine, metadata))
 }
 

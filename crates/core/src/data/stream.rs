@@ -22,7 +22,7 @@
 //! row, negligible next to `feature_dim` doubles per row).
 //!
 //! **Bit-identity.** Streamed consumers ([`crate::model::GramAccumulator`],
-//! [`crate::infer::ScoringEngine::predict_stream`], the streamed evaluators
+//! [`crate::infer::ScoringEngine::predict_source`], the generic evaluators
 //! in [`crate::eval`]) produce results bit-for-bit equal to the in-memory
 //! pipeline at every chunk size, because chunks preserve row order and every
 //! downstream kernel accumulates in ascending row order

@@ -1,20 +1,19 @@
 //! The crate-level error type of the unified pipeline API.
 //!
 //! Before PR 5 every subsystem surfaced its own error enum — [`DataError`]
-//! from the loaders, [`TrainError`] from the trainers, [`EvalError`] from the
-//! evaluation harness, [`LinalgError`] from the factorizations — and callers
-//! gluing stages together had to thread a different error type through each
-//! seam. The generic entry points ([`crate::eval::evaluate_gzsl`],
-//! [`crate::eval::cross_validate`], [`crate::model::EszslTrainer::fit`], the
-//! [`crate::pipeline::Pipeline`] facade, and the `.zsm` model artifacts) all
-//! return one [`ZslError`] instead.
+//! from the loaders, [`TrainError`] from the trainers, [`LinalgError`] from
+//! the factorizations — and callers gluing stages together had to thread a
+//! different error type through each seam. The generic entry points
+//! ([`crate::eval::evaluate_gzsl`], [`crate::eval::cross_validate`],
+//! [`crate::model::EszslTrainer::fit`], every [`crate::trainer::Trainer`]
+//! impl, the [`crate::pipeline::Pipeline`] facade, and the `.zsm` model
+//! artifacts) all return one [`ZslError`] instead.
 //!
 //! Every variant that wraps an inner error reports it through
 //! [`std::error::Error::source`], so `anyhow`-style chain printers and
 //! `error.source()` walks see the full causal chain.
 
 use crate::data::DataError;
-use crate::eval::EvalError;
 use crate::linalg::LinalgError;
 use crate::model::TrainError;
 
@@ -76,34 +75,6 @@ impl From<LinalgError> for ZslError {
     }
 }
 
-/// Flattening conversion: an [`EvalError`] that merely wrapped a train or
-/// data failure becomes the corresponding top-level variant, so matching on a
-/// [`ZslError`] never has to look through two layers of wrappers.
-impl From<EvalError> for ZslError {
-    fn from(e: EvalError) -> Self {
-        match e {
-            EvalError::InvalidConfig(msg) => ZslError::Config(msg),
-            EvalError::Train(e) => ZslError::Train(e),
-            EvalError::Data(e) => ZslError::Data(e),
-        }
-    }
-}
-
-/// Inverse mapping used by the deprecated `*_stream` compatibility wrappers,
-/// which keep their original `Result<_, EvalError>` signatures. A
-/// [`ZslError::Linalg`] folds into [`TrainError::Solver`] — the only place
-/// the old API could surface a factorization failure.
-impl From<ZslError> for EvalError {
-    fn from(e: ZslError) -> Self {
-        match e {
-            ZslError::Data(e) => EvalError::Data(e),
-            ZslError::Train(e) => EvalError::Train(e),
-            ZslError::Linalg(e) => EvalError::Train(TrainError::Solver(e)),
-            ZslError::Config(msg) => EvalError::InvalidConfig(msg),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,20 +91,5 @@ mod tests {
         let level2 = level1.source().expect("linalg source");
         assert!(level2.to_string().contains("positive-definite"));
         assert!(level2.source().is_none());
-    }
-
-    #[test]
-    fn eval_errors_flatten_into_top_level_variants() {
-        let e = ZslError::from(EvalError::Train(TrainError::InvalidConfig("x".into())));
-        assert!(matches!(e, ZslError::Train(TrainError::InvalidConfig(_))));
-        let e = ZslError::from(EvalError::InvalidConfig("bad folds".into()));
-        assert!(matches!(e, ZslError::Config(msg) if msg == "bad folds"));
-        // Round trip back to the legacy type for the deprecated wrappers.
-        let legacy = EvalError::from(ZslError::Config("bad folds".into()));
-        assert!(matches!(legacy, EvalError::InvalidConfig(_)));
-        let legacy = EvalError::from(ZslError::Linalg(LinalgError::NotPositiveDefinite {
-            pivot_index: 0,
-        }));
-        assert!(matches!(legacy, EvalError::Train(TrainError::Solver(_))));
     }
 }

@@ -11,9 +11,9 @@
 //!    variant that takes an already-built (e.g. `.zsm`-loaded) engine.
 //! 2. [`cross_validate`] selects `(γ, λ)` **before** the unseen evaluation:
 //!    a seeded k-fold split of the source's trainval samples, a grid sweep
-//!    reusing one [`crate::model::EszslProblem`] per fold (the Gram matrices are paid once
-//!    per fold, not once per grid point), and mean per-class validation
-//!    accuracy per grid point. Fully deterministic for a fixed seed.
+//!    paying each fold's sufficient statistics once (not once per grid
+//!    point), and mean per-class validation accuracy per grid point. Fully
+//!    deterministic for a fixed seed.
 //!
 //! [`select_train_evaluate`] chains the two: cross-validate on trainval,
 //! retrain with the winning pair, report GZSL numbers.
@@ -25,62 +25,22 @@
 //! [`crate::source::MemorySource`] wraps bare matrices. Because every source
 //! flows through the same fold/score/count code path — integral accuracy
 //! counting, ascending-row Gram folds — reports are **bit-identical** across
-//! sources and chunk sizes, which `tests/streaming_equiv.rs` pins. The old
-//! `*_stream` twins survive as `#[deprecated]` one-line wrappers.
+//! sources and chunk sizes, which `tests/streaming_equiv.rs` pins.
+//!
+//! Both selection entry points are also generic over the **model family**:
+//! [`cross_validate_with`] / [`select_train_evaluate_with`] take any
+//! [`Trainer`] (`&dyn` — ESZSL, SAE, kernelized ESZSL, or a custom impl) and
+//! drive the identical fold/score/count protocol through
+//! [`Trainer::fit_grid`]. The trainer-less functions are thin wrappers fixing
+//! the trainer to ESZSL, which preserves their pre-trainer results bit for
+//! bit (`tests/trainer_equiv.rs` pins that too).
 
-use crate::data::{DataError, Rng, StreamingBundle};
+use crate::data::Rng;
 use crate::error::ZslError;
 use crate::infer::{harmonic_mean, mean_defined, ClassAccuracyCounter, ScoringEngine, Similarity};
-use crate::model::{EszslConfig, GramAccumulator, ProjectionModel, TrainError};
-use crate::source::{FeatureSource, SplitKind};
-
-/// Error from the evaluation harness.
-///
-/// Retained for the deprecated `*_stream` compatibility wrappers; the
-/// generic entry points return the top-level [`ZslError`] instead (which
-/// flattens this type via `From`).
-#[derive(Debug)]
-pub enum EvalError {
-    /// The cross-validation configuration is unusable (bad fold count, empty
-    /// grid, too few samples).
-    InvalidConfig(String),
-    /// Training failed inside a fold or the final fit.
-    Train(TrainError),
-    /// Reading a streamed bundle failed mid-evaluation.
-    Data(DataError),
-}
-
-impl std::fmt::Display for EvalError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EvalError::InvalidConfig(msg) => write!(f, "invalid eval config: {msg}"),
-            EvalError::Train(e) => write!(f, "training failed during evaluation: {e}"),
-            EvalError::Data(e) => write!(f, "streamed bundle read failed during evaluation: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for EvalError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            EvalError::Train(e) => Some(e),
-            EvalError::Data(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<TrainError> for EvalError {
-    fn from(e: TrainError) -> Self {
-        EvalError::Train(e)
-    }
-}
-
-impl From<DataError> for EvalError {
-    fn from(e: DataError) -> Self {
-        EvalError::Data(e)
-    }
-}
+use crate::model::EszslConfig;
+use crate::source::{DynSource, FeatureSource, SplitKind};
+use crate::trainer::{TrainedModel, Trainer};
 
 /// Generalized zero-shot evaluation result.
 ///
@@ -118,11 +78,15 @@ impl std::fmt::Display for GzslReport {
 /// bank; a seen sample predicted as any unseen class (or vice versa) counts
 /// as an error, exactly as in the reference ESZSL evaluation. The report is
 /// **bit-identical** for every source kind, chunk size, and thread count.
-pub fn evaluate_gzsl<S: FeatureSource + ?Sized>(
-    model: &ProjectionModel,
+pub fn evaluate_gzsl<S, M>(
+    model: &M,
     source: &S,
     similarity: Similarity,
-) -> Result<GzslReport, ZslError> {
+) -> Result<GzslReport, ZslError>
+where
+    S: FeatureSource + ?Sized,
+    M: Clone + Into<TrainedModel>,
+{
     let engine = ScoringEngine::new(model.clone(), source.union_signatures(), similarity);
     evaluate_gzsl_with(&engine, source)
 }
@@ -287,6 +251,10 @@ impl CrossValConfig {
 }
 
 /// One `(γ, λ)` grid point's cross-validation outcome.
+///
+/// For trainers with fewer hyperparameters the unused axis holds the
+/// placeholder the trainer's [`Trainer::grid_points`] recorded (SAE stores
+/// `γ = 0`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct GridPoint {
     /// Feature-space regularizer.
@@ -315,31 +283,57 @@ pub struct CrossValReport {
 /// split of any [`FeatureSource`].
 ///
 /// Sample positions are shuffled once with [`Rng`] (Fisher–Yates, seeded by
-/// `config.seed`) and cut into `k` contiguous folds. For each fold, one
-/// [`crate::model::EszslProblem`] is folded from the other `k−1` folds' chunks
-/// ([`GramAccumulator`] — the Gram matrices are paid once per fold), every
-/// grid point is solved up front, and the held-out fold's rows stream ONCE
-/// past *all* grid-point engines, scored against the full seen-class
-/// signature bank and summarized as mean per-class accuracy. Identical
-/// configuration + seed ⇒ identical report, regardless of source kind, chunk
-/// size, or thread count.
+/// `config.seed`) and cut into `k` contiguous folds; each fold's Gram
+/// matrices are paid once, every grid point is solved up front, and the
+/// held-out fold's rows stream ONCE past *all* grid-point engines, scored
+/// against the full seen-class signature bank and summarized as mean
+/// per-class accuracy. Identical configuration + seed ⇒ identical report,
+/// regardless of source kind, chunk size, or thread count.
 ///
 /// To sweep bare matrices (the pre-PR 5 four-argument form), wrap them in a
-/// [`crate::source::MemorySource`].
+/// [`crate::source::MemorySource`]. To sweep a different model family, use
+/// [`cross_validate_with`]; this function fixes the trainer to ESZSL with the
+/// config's normalization toggles, reproducing its pre-trainer results bit
+/// for bit.
 pub fn cross_validate<S: FeatureSource + ?Sized>(
     source: &S,
     config: &CrossValConfig,
 ) -> Result<CrossValReport, ZslError> {
+    cross_validate_with(&default_eszsl_trainer(config), &DynSource(source), config)
+}
+
+/// [`cross_validate`] generic over the model family: a seeded k-fold
+/// cross-validated sweep of `trainer`'s grid over the trainval split.
+///
+/// Per fold, [`Trainer::fit_grid`] pays the trainer's sufficient statistics
+/// once and solves every grid point; the held-out fold's rows then stream
+/// ONCE past *all* grid-point engines, scored against the seen-class bank and
+/// summarized as mean per-class accuracy. The fold protocol (seeded
+/// Fisher–Yates shuffle, contiguous folds balanced to within one sample) and
+/// the report assembly are byte-for-byte the ones the ESZSL-only sweep always
+/// used — identical configuration + seed + trainer ⇒ identical report,
+/// regardless of source kind, chunk size, or thread count.
+pub fn cross_validate_with(
+    trainer: &dyn Trainer,
+    source: &dyn FeatureSource,
+    config: &CrossValConfig,
+) -> Result<CrossValReport, ZslError> {
     let n = source.trainval_len();
     validate_cv_shape(config, n)?;
+    let points = trainer.grid_points(&config.gammas, &config.lambdas);
+    if points.is_empty() {
+        return Err(ZslError::Config(format!(
+            "trainer '{}' mapped the configured grids to zero sweep points",
+            trainer.describe()
+        )));
+    }
 
     let signatures = source.seen_signatures().into_owned();
     let z = signatures.rows();
     let mut order: Vec<usize> = (0..n).collect();
     Rng::new(config.seed).shuffle(&mut order);
 
-    let num_points = config.gammas.len() * config.lambdas.len();
-    let mut fold_accuracies = vec![Vec::with_capacity(config.folds); num_points];
+    let mut fold_accuracies = vec![Vec::with_capacity(config.folds); points.len()];
 
     for fold in 0..config.folds {
         // Contiguous slice of the shuffled order; balanced to within one
@@ -349,33 +343,19 @@ pub fn cross_validate<S: FeatureSource + ?Sized>(
         let val_idx = &order[lo..hi];
         let train_idx: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
 
-        // Gram matrices once per fold, folded from the training chunks with
-        // the same normalization the final fit will apply.
-        let mut acc = GramAccumulator::with_normalization(
-            &signatures,
-            config.normalize_features,
-            config.normalize_signatures,
-        );
-        for chunk in source.stream_trainval_subset(&train_idx)? {
-            let (x, labels) = chunk?;
-            acc.fold(&x, &labels)?;
-        }
-        let problem = acc.finish().map_err(ZslError::from)?;
-
-        // Solve every grid point up front (each model is only d x a), then
-        // stream the fold's validation rows ONCE past all engines.
-        let mut engines = Vec::with_capacity(num_points);
-        let mut counters = Vec::with_capacity(num_points);
-        for &gamma in &config.gammas {
-            for &lambda in &config.lambdas {
-                let model = problem.solve(gamma, lambda)?;
-                engines.push(ScoringEngine::new(
-                    model,
-                    signatures.clone(),
-                    config.similarity,
-                ));
-                counters.push(ClassAccuracyCounter::new(z));
-            }
+        // The trainer pays its sufficient statistics once per fold and solves
+        // every grid point up front; the fold's validation rows then stream
+        // ONCE past all engines.
+        let models = trainer.fit_grid(source, &train_idx, &points)?;
+        let mut engines = Vec::with_capacity(points.len());
+        let mut counters = Vec::with_capacity(points.len());
+        for model in models {
+            engines.push(ScoringEngine::new(
+                model,
+                signatures.clone(),
+                config.similarity,
+            ));
+            counters.push(ClassAccuracyCounter::new(z));
         }
         for chunk in source.stream_trainval_subset(val_idx)? {
             let (x, labels) = chunk?;
@@ -388,7 +368,21 @@ pub fn cross_validate<S: FeatureSource + ?Sized>(
         }
     }
 
-    Ok(assemble_cross_val_report(config, fold_accuracies))
+    Ok(assemble_cross_val_report(
+        &points,
+        config.folds,
+        fold_accuracies,
+    ))
+}
+
+/// The trainer the trainer-less entry points always used: ESZSL with the
+/// config's normalization toggles (its own γ/λ are irrelevant — the sweep
+/// supplies them).
+fn default_eszsl_trainer(config: &CrossValConfig) -> crate::model::EszslTrainer {
+    EszslConfig::new()
+        .normalize_features(config.normalize_features)
+        .normalize_signatures(config.normalize_signatures)
+        .build()
 }
 
 /// Shared configuration checks for the cross-validation sweep.
@@ -417,23 +411,20 @@ fn validate_cv_shape(config: &CrossValConfig, n: usize) -> Result<(), ZslError> 
 /// for every source kind keeps reports bit-identical (same summation order,
 /// same tie-break).
 fn assemble_cross_val_report(
-    config: &CrossValConfig,
+    points: &[(f64, f64)],
+    fold_count: usize,
     mut fold_accuracies: Vec<Vec<f64>>,
 ) -> CrossValReport {
     let mut grid = Vec::with_capacity(fold_accuracies.len());
-    let mut point = 0;
-    for &gamma in &config.gammas {
-        for &lambda in &config.lambdas {
-            let folds = std::mem::take(&mut fold_accuracies[point]);
-            let mean_accuracy = folds.iter().sum::<f64>() / folds.len() as f64;
-            grid.push(GridPoint {
-                gamma,
-                lambda,
-                mean_accuracy,
-                fold_accuracies: folds,
-            });
-            point += 1;
-        }
+    for (point, &(gamma, lambda)) in points.iter().enumerate() {
+        let folds = std::mem::take(&mut fold_accuracies[point]);
+        let mean_accuracy = folds.iter().sum::<f64>() / folds.len() as f64;
+        grid.push(GridPoint {
+            gamma,
+            lambda,
+            mean_accuracy,
+            fold_accuracies: folds,
+        });
     }
     let best = grid
         .iter()
@@ -455,7 +446,7 @@ fn assemble_cross_val_report(
     CrossValReport {
         best,
         grid,
-        folds: config.folds,
+        folds: fold_count,
     }
 }
 
@@ -472,59 +463,26 @@ pub fn select_train_evaluate<S: FeatureSource + ?Sized>(
     source: &S,
     config: &CrossValConfig,
 ) -> Result<(CrossValReport, GzslReport), ZslError> {
-    let cv = cross_validate(source, config)?;
+    select_train_evaluate_with(&default_eszsl_trainer(config), &DynSource(source), config)
+}
+
+/// [`select_train_evaluate`] generic over the model family: cross-validate
+/// `trainer`'s grid, refit on the full trainval split at the winning point
+/// ([`Trainer::with_point`]), and evaluate GZSL. This is the one protocol
+/// every family runs — `tests/trainer_equiv.rs` pins that SAE and kernelized
+/// ESZSL flow through it with the same determinism guarantees as ESZSL.
+pub fn select_train_evaluate_with(
+    trainer: &dyn Trainer,
+    source: &dyn FeatureSource,
+    config: &CrossValConfig,
+) -> Result<(CrossValReport, GzslReport), ZslError> {
+    let cv = cross_validate_with(trainer, source, config)?;
     // The final fit applies the same normalization the sweep selected under.
-    let model = EszslConfig::new()
-        .gamma(cv.best.gamma)
-        .lambda(cv.best.lambda)
-        .normalize_features(config.normalize_features)
-        .normalize_signatures(config.normalize_signatures)
-        .build()
+    let model = trainer
+        .with_point(cv.best.gamma, cv.best.lambda)
         .fit(source)?;
     let report = evaluate_gzsl(&model, source, config.similarity)?;
     Ok((cv, report))
-}
-
-/// Out-of-core [`evaluate_gzsl`] — superseded: [`StreamingBundle`] implements
-/// [`FeatureSource`], so the generic entry point covers this case.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the generic `evaluate_gzsl` — `StreamingBundle` implements `FeatureSource`"
-)]
-pub fn evaluate_gzsl_stream(
-    model: &ProjectionModel,
-    bundle: &StreamingBundle,
-    similarity: Similarity,
-) -> Result<GzslReport, EvalError> {
-    evaluate_gzsl(model, bundle, similarity).map_err(EvalError::from)
-}
-
-/// Out-of-core [`cross_validate`] — superseded: [`StreamingBundle`]
-/// implements [`FeatureSource`], so the generic entry point covers this case
-/// (and, since PR 5's CSV line index, CSV bundles too).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the generic `cross_validate` — `StreamingBundle` implements `FeatureSource`"
-)]
-pub fn cross_validate_stream(
-    bundle: &StreamingBundle,
-    config: &CrossValConfig,
-) -> Result<CrossValReport, EvalError> {
-    cross_validate(bundle, config).map_err(EvalError::from)
-}
-
-/// Out-of-core [`select_train_evaluate`] — superseded: [`StreamingBundle`]
-/// implements [`FeatureSource`], so the generic entry point covers this case.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the generic `select_train_evaluate` — `StreamingBundle` implements \
-            `FeatureSource`"
-)]
-pub fn select_train_evaluate_stream(
-    bundle: &StreamingBundle,
-    config: &CrossValConfig,
-) -> Result<(CrossValReport, GzslReport), EvalError> {
-    select_train_evaluate(bundle, config).map_err(EvalError::from)
 }
 
 #[cfg(test)]
@@ -532,6 +490,7 @@ mod tests {
     use super::*;
     use crate::data::{Dataset, SyntheticConfig};
     use crate::infer::{mean_per_class_accuracy, per_class_accuracy};
+    use crate::model::{ProjectionModel, TrainError};
     use crate::source::MemorySource;
 
     fn trained_dataset() -> (ProjectionModel, Dataset) {

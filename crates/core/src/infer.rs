@@ -13,8 +13,8 @@
 
 use crate::error::ZslError;
 use crate::linalg::{default_threads, Matrix, NORM_EPSILON};
-use crate::model::ProjectionModel;
 use crate::source::{FeatureSource, SplitKind};
+use crate::trainer::TrainedModel;
 use std::cmp::Ordering;
 
 /// Rows per chunk used by [`ScoringEngine::predict`] and
@@ -81,7 +81,9 @@ pub struct TopK {
 /// engine can be tuned freely without perturbing golden numerics.
 #[derive(Clone, Debug)]
 pub struct ScoringEngine {
-    model: ProjectionModel,
+    /// Any trained model family; a bare [`crate::model::ProjectionModel`]
+    /// converts in as ESZSL, so pre-trainer call sites keep compiling.
+    model: TrainedModel,
     /// `num_classes x attr_dim`, one row per candidate class; pre-normalized
     /// when the similarity is cosine.
     signatures: Matrix,
@@ -99,14 +101,14 @@ impl ScoringEngine {
     /// *untrusted* inputs (a serving daemon booting from an artifact it did
     /// not write) must use [`ScoringEngine::try_new`] instead, where the same
     /// conditions are typed [`ZslError::Config`] values.
-    pub fn new(model: ProjectionModel, signatures: Matrix, similarity: Similarity) -> Self {
+    pub fn new(model: impl Into<TrainedModel>, signatures: Matrix, similarity: Similarity) -> Self {
         Self::with_threads(model, signatures, similarity, default_threads())
     }
 
     /// [`ScoringEngine::new`] with an explicit worker-thread count
     /// (`0` is treated as `1`).
     pub fn with_threads(
-        model: ProjectionModel,
+        model: impl Into<TrainedModel>,
         signatures: Matrix,
         similarity: Similarity,
         threads: usize,
@@ -126,7 +128,7 @@ impl ScoringEngine {
     /// a daemon's boot/reload must degrade to an error response, never
     /// abort the process.
     pub fn try_new(
-        model: ProjectionModel,
+        model: impl Into<TrainedModel>,
         signatures: Matrix,
         similarity: Similarity,
     ) -> Result<Self, ZslError> {
@@ -136,11 +138,12 @@ impl ScoringEngine {
     /// [`ScoringEngine::try_new`] with an explicit worker-thread count
     /// (`0` is treated as `1`).
     pub fn try_with_threads(
-        model: ProjectionModel,
+        model: impl Into<TrainedModel>,
         mut signatures: Matrix,
         similarity: Similarity,
         threads: usize,
     ) -> Result<Self, ZslError> {
+        let model = model.into();
         check_engine_parts(&model, &signatures).map_err(ZslError::Config)?;
         if similarity == Similarity::Cosine {
             signatures.l2_normalize_rows();
@@ -168,7 +171,7 @@ impl ScoringEngine {
     /// bank's rows really are unit-norm, since nothing downstream will ever
     /// re-normalize them.
     pub(crate) fn from_cached_parts(
-        model: ProjectionModel,
+        model: TrainedModel,
         signatures: Matrix,
         similarity: Similarity,
         threads: usize,
@@ -187,9 +190,14 @@ impl ScoringEngine {
         self.signatures.rows()
     }
 
-    /// The underlying projection model.
-    pub fn model(&self) -> &ProjectionModel {
+    /// The underlying trained model (any family).
+    pub fn model(&self) -> &TrainedModel {
         &self.model
+    }
+
+    /// Input feature width the engine scores — the trained model's.
+    pub fn feature_dim(&self) -> usize {
+        self.model.feature_dim()
     }
 
     /// The cached signature bank (L2-normalized when the similarity is
@@ -270,7 +278,7 @@ impl ScoringEngine {
     /// space), not as the `matmul` shape assert the in-memory `predict`
     /// reserves for programming errors.
     pub(crate) fn check_feature_width(&self, cols: usize) -> Result<(), ZslError> {
-        let d = self.model.weights().rows();
+        let d = self.model.feature_dim();
         if cols != d {
             return Err(ZslError::Config(format!(
                 "source features have {cols} columns but the engine's projection expects {d}; \
@@ -307,24 +315,6 @@ impl ScoringEngine {
         Ok(out)
     }
 
-    /// Argmax predictions over a raw stream of feature chunks. Chunk errors
-    /// abort the pass and propagate unchanged.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ScoringEngine::predict_source` with a `FeatureSource`, or loop \
-                `ScoringEngine::predict` over the chunks"
-    )]
-    pub fn predict_stream<I, E>(&self, chunks: I) -> Result<Vec<usize>, E>
-    where
-        I: IntoIterator<Item = Result<Matrix, E>>,
-    {
-        let mut out = Vec::new();
-        for chunk in chunks {
-            out.extend(self.predict(&chunk?));
-        }
-        Ok(out)
-    }
-
     /// Best-`k` ranked predictions per sample (`k` clamped to the class
     /// count), computed chunk-by-chunk.
     pub fn predict_topk(&self, x: &Matrix, k: usize) -> Vec<TopK> {
@@ -350,7 +340,7 @@ pub struct Classifier {
 impl Classifier {
     /// Build a classifier over `signatures` (`num_classes x attr_dim`).
     /// Panics under the same conditions as [`ScoringEngine::new`].
-    pub fn new(model: ProjectionModel, signatures: Matrix, similarity: Similarity) -> Self {
+    pub fn new(model: impl Into<TrainedModel>, signatures: Matrix, similarity: Similarity) -> Self {
         Classifier {
             engine: ScoringEngine::new(model, signatures, similarity),
         }
@@ -359,7 +349,7 @@ impl Classifier {
     /// Fallible [`Classifier::new`]: construction failures are typed
     /// [`ZslError::Config`] values, mirroring [`ScoringEngine::try_new`].
     pub fn try_new(
-        model: ProjectionModel,
+        model: impl Into<TrainedModel>,
         signatures: Matrix,
         similarity: Similarity,
     ) -> Result<Self, ZslError> {
@@ -373,8 +363,8 @@ impl Classifier {
         self.engine.num_classes()
     }
 
-    /// The underlying projection model.
-    pub fn model(&self) -> &ProjectionModel {
+    /// The underlying trained model (any family).
+    pub fn model(&self) -> &TrainedModel {
         self.engine.model()
     }
 
@@ -411,7 +401,7 @@ impl Classifier {
 /// ([`ScoringEngine::new`], [`Classifier::new`]) turn the message into a
 /// panic; the fallible ones ([`ScoringEngine::try_new`], the `.zsm` loader)
 /// turn it into a typed error.
-fn check_engine_parts(model: &ProjectionModel, signatures: &Matrix) -> Result<(), String> {
+fn check_engine_parts(model: &TrainedModel, signatures: &Matrix) -> Result<(), String> {
     if signatures.rows() == 0 {
         return Err("classifier needs at least one class signature".into());
     }
@@ -432,11 +422,17 @@ fn check_engine_parts(model: &ProjectionModel, signatures: &Matrix) -> Result<()
             }
         }
     }
-    if model.weights().cols() != signatures.cols() {
+    if model.attr_dim() != signatures.cols() {
         return Err(format!(
             "model attribute dim {} != signature dim {}",
-            model.weights().cols(),
+            model.attr_dim(),
             signatures.cols()
+        ));
+    }
+    if !model.is_finite() {
+        return Err(format!(
+            "{} model contains non-finite parameters; refuse to score with it",
+            model.family()
         ));
     }
     Ok(())
@@ -817,31 +813,6 @@ mod tests {
                 "{split:?}"
             );
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn predict_stream_matches_predict_and_propagates_errors() {
-        let mut rng = crate::data::Rng::new(44);
-        let w = Matrix::from_vec(4, 3, (0..12).map(|_| rng.normal()).collect());
-        let bank = Matrix::from_vec(5, 3, (0..15).map(|_| rng.normal()).collect());
-        let x = Matrix::from_vec(23, 4, (0..92).map(|_| rng.normal()).collect());
-        let engine = ScoringEngine::new(ProjectionModel::from_weights(w), bank, Similarity::Cosine);
-        let full = engine.predict(&x);
-        for chunk_rows in [1usize, 4, 23, 40] {
-            let chunks: Vec<Result<Matrix, String>> = (0..x.rows())
-                .step_by(chunk_rows)
-                .map(|start| Ok(x.row_block(start..(start + chunk_rows).min(x.rows()))))
-                .collect();
-            assert_eq!(
-                engine.predict_stream(chunks).expect("stream"),
-                full,
-                "chunk_rows={chunk_rows}"
-            );
-        }
-        let failing: Vec<Result<Matrix, String>> =
-            vec![Ok(x.row_block(0..2)), Err("io broke".into())];
-        assert_eq!(engine.predict_stream(failing), Err("io broke".into()));
     }
 
     #[test]

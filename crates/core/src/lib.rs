@@ -67,13 +67,10 @@
 //! | [`artifact`] | the versioned `.zsm` model artifact: [`ScoringEngine::save`] / [`ScoringEngine::load`], bit-identical round trips |
 //! | [`data`]  | seeded synthetic datasets **plus** on-disk bundles: `.zsb`/CSV feature dumps, signature tables, split manifests — loaded whole by [`data::DatasetBundle`] or streamed chunk-at-a-time by [`StreamingBundle`] (CSV gets shuffled reads via [`data::CsvLineIndex`]) |
 //! | [`eval`]  | the generic GZSL protocol ([`eval::GzslReport`]) and seeded k-fold `(γ, λ)` cross-validation ([`eval::cross_validate`]) over any source |
+//! | [`trainer`] | the object-safe [`Trainer`] trait + [`TrainedModel`]: ESZSL, the Sylvester-solved [`trainer::SaeTrainer`], and [`trainer::KernelEszslTrainer`] (linear/RBF), all streaming through the same accumulator |
 //!
 //! Errors across the pipeline unify into the top-level [`ZslError`], which
-//! chains inner causes through [`std::error::Error::source`]. The pre-PR 5
-//! `*_stream` twins (`evaluate_gzsl_stream`, `cross_validate_stream`,
-//! `train_stream`, `predict_stream`, `select_train_evaluate_stream`) still
-//! compile as `#[deprecated]` one-line wrappers over the generic entry
-//! points — see the README migration table.
+//! chains inner causes through [`std::error::Error::source`].
 //!
 //! ## Low-level example (no facade)
 //!
@@ -104,8 +101,9 @@ pub mod linalg;
 pub mod model;
 pub mod pipeline;
 pub mod source;
+pub mod trainer;
 
-pub use artifact::{ZSM_HEADER_LEN, ZSM_MAGIC, ZSM_NORM_TOLERANCE, ZSM_VERSION};
+pub use artifact::{ZSM_HEADER_LEN, ZSM_MAGIC, ZSM_MIN_VERSION, ZSM_NORM_TOLERANCE, ZSM_VERSION};
 pub use data::{
     export_dataset, ClassMap, CsvChunkReader, CsvIndexedReader, CsvLineIndex, DataError, Dataset,
     DatasetBundle, FeatureChunk, FeatureFormat, FeatureTable, Rng, SplitManifest, SplitPlan,
@@ -113,22 +111,23 @@ pub use data::{
 };
 pub use error::ZslError;
 pub use eval::{
-    cross_validate, evaluate_gzsl, evaluate_gzsl_with, select_train_evaluate, CrossValConfig,
-    CrossValReport, EvalError, GridPoint, GzslReport,
+    cross_validate, cross_validate_with, evaluate_gzsl, evaluate_gzsl_with, select_train_evaluate,
+    select_train_evaluate_with, CrossValConfig, CrossValReport, GridPoint, GzslReport,
 };
 pub use infer::{
     harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy,
     ClassAccuracyCounter, Classifier, ScoringEngine, Similarity, TopK,
 };
-pub use linalg::{default_threads, solve_spd, Cholesky, LinalgError, Matrix};
+pub use linalg::{
+    default_threads, solve_spd, solve_sylvester, Cholesky, LinalgError, Matrix, SymmetricEigen,
+};
 pub use model::{
     EszslConfig, EszslProblem, EszslTrainer, GramAccumulator, ProjectionModel, RidgeConfig,
     RidgeTrainer, TrainError,
 };
 pub use pipeline::{Pipeline, TrainedPipeline};
-pub use source::{FeatureSource, MemorySource, SourceChunk, SourceStream, SplitKind};
-
-// The deprecated compatibility wrappers stay importable from the crate root,
-// exactly where the pre-PR 5 names lived.
-#[allow(deprecated)]
-pub use eval::{cross_validate_stream, evaluate_gzsl_stream, select_train_evaluate_stream};
+pub use source::{DynSource, FeatureSource, MemorySource, SourceChunk, SourceStream, SplitKind};
+pub use trainer::{
+    KernelEszslConfig, KernelEszslTrainer, KernelKind, KernelModel, ModelFamily, SaeConfig,
+    SaeTrainer, TrainedModel, Trainer,
+};

@@ -175,6 +175,9 @@ pub enum LinalgError {
         expected: (usize, usize),
         got: (usize, usize),
     },
+    /// The spectral Sylvester solve hit an eigenvalue pair whose sum is
+    /// numerically zero, so `AX + XB = C` has no unique solution.
+    SingularSylvester { detail: String },
 }
 
 impl fmt::Display for LinalgError {
@@ -189,6 +192,9 @@ impl fmt::Display for LinalgError {
                 "shape mismatch: expected {}x{}, got {}x{}",
                 expected.0, expected.1, got.0, got.1
             ),
+            LinalgError::SingularSylvester { detail } => {
+                write!(f, "singular Sylvester system: {detail}")
+            }
         }
     }
 }
@@ -662,6 +668,165 @@ pub fn solve_spd(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
     a.cholesky()?.solve_matrix(b)
 }
 
+/// Upper bound on cyclic Jacobi sweeps. Jacobi converges quadratically, so
+/// well-conditioned symmetric matrices reach machine precision in well under
+/// ten sweeps; the cap only guards pathological inputs.
+const MAX_JACOBI_SWEEPS: usize = 64;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix, from
+/// [`Matrix::symmetric_eigen`].
+///
+/// Column `j` of [`SymmetricEigen::vectors`] is the (unit-norm) eigenvector
+/// for `values[j]`. Eigenvalues are reported in the order the Jacobi sweep
+/// leaves them — callers that need sorting sort themselves. The computation
+/// is fully deterministic: identical input bits give identical output bits,
+/// which is what lets the SAE trainer inherit the streamed-equals-in-memory
+/// bit-identity guarantee from its (chunk-order-invariant) accumulated
+/// inputs.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    values: Vec<f64>,
+    vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// The eigenvalues, in sweep order (unsorted).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The orthogonal eigenvector matrix `V` (one eigenvector per column).
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+}
+
+impl Matrix {
+    /// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+    ///
+    /// Only symmetry is assumed (the input is read as-is; strictly the
+    /// average of both triangles is what the rotations see). Returns a
+    /// [`LinalgError::ShapeMismatch`] for non-square input. Sweeps stop once
+    /// the off-diagonal Frobenius norm falls below `1e-15 · ‖A‖_F`.
+    pub fn symmetric_eigen(&self) -> Result<SymmetricEigen, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.rows, self.rows),
+                got: (self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+        if n <= 1 {
+            return Ok(SymmetricEigen {
+                values: a.data.clone(),
+                vectors: v,
+            });
+        }
+        let tol = (self.frobenius_norm() * 1e-15).max(f64::MIN_POSITIVE);
+        for _ in 0..MAX_JACOBI_SWEEPS {
+            let mut off = 0.0;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off += a.data[p * n + q] * a.data[p * n + q];
+                }
+            }
+            if off.sqrt() <= tol {
+                break;
+            }
+            for p in 0..n - 1 {
+                for q in (p + 1)..n {
+                    let apq = a.data[p * n + q];
+                    if apq == 0.0 {
+                        continue;
+                    }
+                    let theta = (a.data[q * n + q] - a.data[p * n + p]) / (2.0 * apq);
+                    let t = if theta == 0.0 {
+                        1.0
+                    } else {
+                        theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt())
+                    };
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // A ← Jᵀ A J with the rotation in the (p, q) plane.
+                    for k in 0..n {
+                        let akp = a.data[k * n + p];
+                        let akq = a.data[k * n + q];
+                        a.data[k * n + p] = c * akp - s * akq;
+                        a.data[k * n + q] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a.data[p * n + k];
+                        let aqk = a.data[q * n + k];
+                        a.data[p * n + k] = c * apk - s * aqk;
+                        a.data[q * n + k] = s * apk + c * aqk;
+                    }
+                    // The rotation zeroes this pair analytically; pin it so
+                    // round-off never leaks back into later sweeps.
+                    a.data[p * n + q] = 0.0;
+                    a.data[q * n + p] = 0.0;
+                    for k in 0..n {
+                        let vkp = v.data[k * n + p];
+                        let vkq = v.data[k * n + q];
+                        v.data[k * n + p] = c * vkp - s * vkq;
+                        v.data[k * n + q] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let values = (0..n).map(|i| a.data[i * n + i]).collect();
+        Ok(SymmetricEigen { values, vectors: v })
+    }
+}
+
+/// Solve the Sylvester equation `A X + X B = C` for symmetric `A` (`p x p`)
+/// and `B` (`q x q`) with `C` of shape `p x q` — the closed form behind the
+/// SAE trainer (Bartels–Stewart specialized to the symmetric case via two
+/// eigendecompositions).
+///
+/// With `A = U diag(α) Uᵀ` and `B = V diag(β) Vᵀ`, the transformed system is
+/// diagonal: `X̃ij = C̃ij / (αi + βj)` where `C̃ = Uᵀ C V`, and
+/// `X = U X̃ Vᵀ`. An eigenvalue pair with `αi + βj` numerically zero (below
+/// `1e-12` relative to the spectrum) is a [`LinalgError::SingularSylvester`]
+/// — for the SAE system both operands are positive semi-definite with at
+/// least one positive definite, so this never fires on valid training input.
+pub fn solve_sylvester(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, LinalgError> {
+    if c.rows() != a.rows() || c.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (a.rows(), b.rows()),
+            got: (c.rows(), c.cols()),
+        });
+    }
+    let ea = a.symmetric_eigen()?;
+    let eb = b.symmetric_eigen()?;
+    let ct = ea.vectors().transpose().matmul(c).matmul(eb.vectors());
+    let scale = ea
+        .values()
+        .iter()
+        .chain(eb.values())
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(1.0);
+    let (p, q) = (c.rows(), c.cols());
+    let mut xt = Matrix::zeros(p, q);
+    for i in 0..p {
+        for j in 0..q {
+            let denom = ea.values()[i] + eb.values()[j];
+            if denom.abs() <= scale * 1e-12 {
+                return Err(LinalgError::SingularSylvester {
+                    detail: format!(
+                        "eigenvalue pair ({}, {}) sums to {denom:e}, below the conditioning floor",
+                        ea.values()[i],
+                        eb.values()[j]
+                    ),
+                });
+            }
+            xt.data[i * q + j] = ct.data[i * q + j] / denom;
+        }
+    }
+    Ok(ea.vectors().matmul(&xt).matmul(&eb.vectors().transpose()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -896,6 +1061,87 @@ mod tests {
         assert!(matches!(
             rect.cholesky(),
             Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs_and_is_orthogonal() {
+        let mut rng = Rng::new(0xE16);
+        for n in [1usize, 2, 5, 12, 23] {
+            let g = random_matrix(&mut rng, n, n);
+            // Symmetrize: A = (G + Gᵀ) / 2.
+            let gt = g.transpose();
+            let mut a = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a.set(r, c, 0.5 * (g.get(r, c) + gt.get(r, c)));
+                }
+            }
+            let eig = a.symmetric_eigen().expect("square");
+            let v = eig.vectors();
+            // Orthogonality: VᵀV ≈ I.
+            let vtv = v.transpose().matmul(v);
+            assert!(
+                vtv.max_abs_diff(&Matrix::identity(n)) < 1e-10,
+                "V not orthogonal at n={n}"
+            );
+            // Reconstruction: V diag(λ) Vᵀ ≈ A.
+            let mut scaled = v.clone();
+            for r in 0..n {
+                for c in 0..n {
+                    let x = scaled.get(r, c) * eig.values()[c];
+                    scaled.set(r, c, x);
+                }
+            }
+            let rebuilt = scaled.matmul(&v.transpose());
+            assert!(
+                rebuilt.max_abs_diff(&a) < 1e-9,
+                "reconstruction drifted at n={n}"
+            );
+        }
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            rect.symmetric_eigen(),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_sylvester_round_trip_and_error_paths() {
+        let mut rng = Rng::new(0x5711);
+        for &(p, q) in &[(1usize, 1usize), (3, 5), (8, 4), (12, 12)] {
+            let ga = random_matrix(&mut rng, p, p);
+            let mut a = ga.matmul(&ga.transpose());
+            a.add_scaled_identity(0.5);
+            let gb = random_matrix(&mut rng, q, q);
+            let mut b = gb.matmul(&gb.transpose());
+            b.add_scaled_identity(0.5);
+            let c = random_matrix(&mut rng, p, q);
+            let x = solve_sylvester(&a, &b, &c).expect("well-conditioned");
+            let residual = a.matmul(&x);
+            let xb = x.matmul(&b);
+            let mut lhs = residual.clone();
+            for (l, v) in lhs.data.iter_mut().zip(xb.as_slice()) {
+                *l += v;
+            }
+            assert!(
+                lhs.max_abs_diff(&c) < 1e-8,
+                "Sylvester residual too large at {p}x{q}"
+            );
+        }
+        // Shape mismatch: C must be p x q.
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(3);
+        assert!(matches!(
+            solve_sylvester(&a, &b, &Matrix::zeros(3, 2)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        // α + β = 0 is a typed singularity, not garbage.
+        let neg = Matrix::from_vec(1, 1, vec![-1.0]);
+        let pos = Matrix::from_vec(1, 1, vec![1.0]);
+        assert!(matches!(
+            solve_sylvester(&pos, &neg, &Matrix::from_vec(1, 1, vec![2.0])),
+            Err(LinalgError::SingularSylvester { .. })
         ));
     }
 

@@ -88,6 +88,11 @@ impl ProjectionModel {
         &self.w
     }
 
+    /// Unwrap into the projection matrix, avoiding a copy.
+    pub fn into_weights(self) -> Matrix {
+        self.w
+    }
+
     /// Project a batch of features (`n x d`) into attribute space (`n x a`).
     pub fn project(&self, x: &Matrix) -> Matrix {
         x.matmul(&self.w)
@@ -208,6 +213,11 @@ pub struct GramAccumulator {
     /// dimension is only discovered at read time (CSV) work too.
     xtx: Option<Matrix>,
     xtys: Option<Matrix>,
+    /// Per-class row counts, folded alongside the Grams. Integer counting is
+    /// order-independent, so these are chunk-size-invariant for free; the SAE
+    /// trainer turns them into `(YS)ᵀ(YS) = Sᵀ diag(counts) S` without a
+    /// second data pass.
+    class_counts: Vec<f64>,
     rows: usize,
 }
 
@@ -229,11 +239,13 @@ impl GramAccumulator {
         if normalize_signatures {
             signatures.l2_normalize_rows();
         }
+        let class_counts = vec![0.0; signatures.rows()];
         GramAccumulator {
             signatures,
             normalize_features,
             xtx: None,
             xtys: None,
+            class_counts,
             rows: 0,
         }
     }
@@ -251,6 +263,19 @@ impl GramAccumulator {
     /// Attribute dimension of the signature bank.
     pub fn attr_dim(&self) -> usize {
         self.signatures.cols()
+    }
+
+    /// The prepared (possibly L2-normalized) signature bank every chunk
+    /// gathers from.
+    pub fn signatures(&self) -> &Matrix {
+        &self.signatures
+    }
+
+    /// Per-class row counts folded so far (length = signature rows). `f64`
+    /// because consumers use them as diagonal weights — e.g. the SAE trainer's
+    /// `Sᵀ diag(counts) S` Gram.
+    pub fn class_counts(&self) -> &[f64] {
+        &self.class_counts
     }
 
     /// Fold one chunk of training rows and their labels (indices into the
@@ -307,6 +332,9 @@ impl GramAccumulator {
         let ys = gather_signatures(labels, &self.signatures);
         xtx.add_transposed_product(&x, &x);
         xtys.add_transposed_product(&x, &ys);
+        for &label in labels {
+            self.class_counts[label] += 1.0;
+        }
         self.rows += x.rows();
         Ok(())
     }
@@ -367,40 +395,12 @@ impl EszslTrainer {
     /// [`crate::source::MemorySource`] — with this trainer's configuration.
     ///
     /// Every source flows through the same [`GramAccumulator`] fold, so the
-    /// trained weights are **bit-identical** across sources and chunk sizes
-    /// (and to the pre-PR 5 `train` / `train_stream` twins this replaces).
+    /// trained weights are **bit-identical** across sources and chunk sizes.
     pub fn fit<S: FeatureSource + ?Sized>(&self, source: &S) -> Result<ProjectionModel, ZslError> {
         validate_regularizer("gamma", self.config.gamma)?;
         validate_regularizer("lambda", self.config.lambda)?;
         let problem = EszslProblem::from_source_with_normalization(
             source,
-            self.config.normalize_features,
-            self.config.normalize_signatures,
-        )?;
-        Ok(problem.solve(self.config.gamma, self.config.lambda)?)
-    }
-
-    /// Train from a stream of `(features, labels)` chunks without ever
-    /// holding the full feature matrix.
-    ///
-    /// The error type is the stream's: chunk errors (e.g.
-    /// [`crate::data::DataError`] from a [`crate::data::SplitStream`])
-    /// propagate as-is, and [`TrainError`]s convert through `E: From`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `EszslTrainer::fit` with a `FeatureSource`, or `EszslProblem::from_stream` \
-                + `solve` for raw chunk iterators"
-    )]
-    pub fn train_stream<I, E>(&self, chunks: I, signatures: &Matrix) -> Result<ProjectionModel, E>
-    where
-        I: IntoIterator<Item = Result<(Matrix, Vec<usize>), E>>,
-        E: From<TrainError>,
-    {
-        validate_regularizer("gamma", self.config.gamma)?;
-        validate_regularizer("lambda", self.config.lambda)?;
-        let problem = EszslProblem::from_stream_with_normalization(
-            chunks,
-            signatures,
             self.config.normalize_features,
             self.config.normalize_signatures,
         )?;
@@ -655,7 +655,7 @@ impl RidgeTrainer {
 /// Regularizers must be strictly positive (and finite) to keep the shifted
 /// Gram matrices positive-definite; zero or negative values would silently
 /// train an un- or anti-regularized model.
-fn validate_regularizer(name: &str, value: f64) -> Result<(), TrainError> {
+pub(crate) fn validate_regularizer(name: &str, value: f64) -> Result<(), TrainError> {
     if !value.is_finite() || value <= 0.0 {
         return Err(TrainError::InvalidConfig(format!(
             "{name} must be a positive finite number, got {value}"
@@ -957,38 +957,6 @@ mod tests {
         assert!(matches!(
             bad.fit(&ds),
             Err(ZslError::Train(TrainError::InvalidConfig(_)))
-        ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn train_stream_matches_train_and_propagates_stream_errors() {
-        let ds = SyntheticConfig::new().seed(13).build();
-        let trainer = EszslConfig::new().gamma(0.3).lambda(3.0).build();
-        let one_shot = trainer
-            .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
-            .expect("train");
-        let n = ds.train_x.rows();
-        let chunks: Vec<Result<(Matrix, Vec<usize>), TrainError>> = (0..n)
-            .step_by(4)
-            .map(|start| {
-                let end = (start + 4).min(n);
-                Ok((
-                    ds.train_x.row_block(start..end),
-                    ds.train_labels[start..end].to_vec(),
-                ))
-            })
-            .collect();
-        let streamed: ProjectionModel = trainer
-            .train_stream(chunks, &ds.seen_signatures)
-            .expect("train_stream");
-        assert_eq!(streamed.weights().as_slice(), one_shot.weights().as_slice());
-        // A stream error aborts training and surfaces unchanged.
-        let failing: Vec<Result<(Matrix, Vec<usize>), TrainError>> =
-            vec![Err(TrainError::Shape("disk fell over".into()))];
-        assert!(matches!(
-            trainer.train_stream(failing, &ds.seen_signatures),
-            Err(TrainError::Shape(msg)) if msg == "disk fell over"
         ));
     }
 

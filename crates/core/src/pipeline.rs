@@ -16,10 +16,15 @@
 //! ```
 //!
 //! [`Pipeline`] wires the generic stages together — `(γ, λ)` selection via
-//! [`cross_validate`], a final fit via [`EszslTrainer::fit`], GZSL scoring
-//! via [`evaluate_gzsl_with`] — over any [`FeatureSource`]: swap the
+//! [`cross_validate`], a final fit via the pipeline's [`Trainer`]
+//! (ESZSL by default; [`Pipeline::with_trainer`] swaps in any other family,
+//! e.g. [`crate::trainer::SaeTrainer`] or
+//! [`crate::trainer::KernelEszslTrainer`]), GZSL scoring via
+//! [`evaluate_gzsl_with`] — over any [`FeatureSource`]: swap the
 //! in-memory dataset above for a [`crate::data::StreamingBundle`] and the
-//! same chain runs out-of-core with bit-identical numbers. Each stage is a
+//! same chain runs out-of-core with bit-identical numbers. The model choice
+//! is sticky: the trainer set once governs the sweep, the final fit, and the
+//! artifact's provenance metadata. Each stage is a
 //! thin delegation, so the facade adds no measurable overhead over calling
 //! the stages directly (the `[bench] facade-vs-direct` line in
 //! `tests/throughput.rs` tracks this).
@@ -30,10 +35,14 @@
 //! ([`ScoringEngine::load`] + [`evaluate_gzsl_with`] or raw `predict`).
 
 use crate::error::ZslError;
-use crate::eval::{cross_validate, evaluate_gzsl_with, CrossValConfig, CrossValReport, GzslReport};
+use crate::eval::{
+    cross_validate, cross_validate_with, evaluate_gzsl_with, CrossValConfig, CrossValReport,
+    GzslReport,
+};
 use crate::infer::{ScoringEngine, Similarity};
-use crate::model::{EszslConfig, EszslTrainer, ProjectionModel};
-use crate::source::FeatureSource;
+use crate::model::{EszslConfig, EszslTrainer};
+use crate::source::{DynSource, FeatureSource};
+use crate::trainer::{TrainedModel, Trainer};
 use std::path::Path;
 
 /// Untrained pipeline: a source plus the training configuration to apply.
@@ -45,6 +54,9 @@ use std::path::Path;
 pub struct Pipeline<'a, S: FeatureSource + ?Sized> {
     source: &'a S,
     config: EszslConfig,
+    /// `Some` once [`Pipeline::with_trainer`] chose a model family; `None`
+    /// runs the historical ESZSL path driven by `config`, bit-for-bit.
+    trainer: Option<Box<dyn Trainer>>,
     /// `Some` once set explicitly (or adopted from a sweep); `None` means
     /// "nobody chose yet" and resolves to cosine at train time.
     similarity: Option<Similarity>,
@@ -53,11 +65,12 @@ pub struct Pipeline<'a, S: FeatureSource + ?Sized> {
 
 impl<'a, S: FeatureSource + ?Sized> From<&'a S> for Pipeline<'a, S> {
     /// Start a pipeline over `source` with the default configuration
-    /// (γ = λ = 1, no normalization, cosine similarity).
+    /// (ESZSL, γ = λ = 1, no normalization, cosine similarity).
     fn from(source: &'a S) -> Self {
         Pipeline {
             source,
             config: EszslConfig::default(),
+            trainer: None,
             similarity: None,
             cv: None,
         }
@@ -65,9 +78,23 @@ impl<'a, S: FeatureSource + ?Sized> From<&'a S> for Pipeline<'a, S> {
 }
 
 impl<'a, S: FeatureSource + ?Sized> Pipeline<'a, S> {
-    /// Replace the trainer configuration (regularizers + normalization).
+    /// Replace the ESZSL trainer configuration (regularizers +
+    /// normalization). Ignored once [`Pipeline::with_trainer`] picked a
+    /// different trainer — configure that trainer directly instead.
     pub fn config(mut self, config: EszslConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Choose the model family: any [`Trainer`] — [`EszslTrainer`],
+    /// [`crate::trainer::SaeTrainer`],
+    /// [`crate::trainer::KernelEszslTrainer`], or a custom impl. The choice
+    /// is sticky: [`Pipeline::cross_validate`] sweeps this trainer's own
+    /// grid, [`Pipeline::train`] refits it at the winning point, and
+    /// [`TrainedPipeline::save`] records its [`Trainer::describe`] string as
+    /// artifact provenance.
+    pub fn with_trainer<T: Trainer + 'static>(mut self, trainer: T) -> Self {
+        self.trainer = Some(Box::new(trainer));
         self
     }
 
@@ -94,6 +121,26 @@ impl<'a, S: FeatureSource + ?Sized> Pipeline<'a, S> {
     /// will *not* train with is a contradiction and a typed
     /// [`ZslError::Config`], never a silently un-normalized sweep.
     pub fn cross_validate(mut self, config: &CrossValConfig) -> Result<Self, ZslError> {
+        if let Some(trainer) = &self.trainer {
+            if config.normalize_features || config.normalize_signatures {
+                return Err(ZslError::Config(format!(
+                    "the CrossValConfig enables normalization, but this pipeline's {} trainer \
+                     already owns its preprocessing; set normalization on the trainer passed \
+                     to Pipeline::with_trainer",
+                    trainer.family()
+                )));
+            }
+            let trainer = self.trainer.take().expect("just checked");
+            let mut sweep = config.clone();
+            if let Some(similarity) = self.similarity {
+                sweep.similarity = similarity;
+            }
+            let cv = cross_validate_with(trainer.as_ref(), &DynSource(self.source), &sweep)?;
+            self.trainer = Some(trainer.with_point(cv.best.gamma, cv.best.lambda));
+            self.similarity = Some(sweep.similarity);
+            self.cv = Some(cv);
+            return Ok(self);
+        }
         if (config.normalize_features && !self.config.normalize_features)
             || (config.normalize_signatures && !self.config.normalize_signatures)
         {
@@ -119,16 +166,22 @@ impl<'a, S: FeatureSource + ?Sized> Pipeline<'a, S> {
         Ok(self)
     }
 
-    /// Fit the closed form on the trainval split and build the serving
-    /// engine over the source's union signature bank.
+    /// Fit the pipeline's trainer on the trainval split and build the
+    /// serving engine over the source's union signature bank.
     pub fn train(self) -> Result<TrainedPipeline<'a, S>, ZslError> {
         let similarity = self.similarity.unwrap_or_default();
-        let model = EszslTrainer::new(self.config.clone()).fit(self.source)?;
+        let model: TrainedModel = match &self.trainer {
+            Some(trainer) => trainer.fit(&DynSource(self.source))?,
+            None => EszslTrainer::new(self.config.clone())
+                .fit(self.source)?
+                .into(),
+        };
         let engine = ScoringEngine::new(model, self.source.union_signatures(), similarity);
         Ok(TrainedPipeline {
             source: self.source,
             engine,
             config: self.config,
+            trainer: self.trainer,
             cv: self.cv,
         })
     }
@@ -140,6 +193,7 @@ pub struct TrainedPipeline<'a, S: FeatureSource + ?Sized> {
     source: &'a S,
     engine: ScoringEngine,
     config: EszslConfig,
+    trainer: Option<Box<dyn Trainer>>,
     cv: Option<CrossValReport>,
 }
 
@@ -161,15 +215,24 @@ impl<S: FeatureSource + ?Sized> TrainedPipeline<'_, S> {
         self.engine
     }
 
-    /// The trained projection model.
-    pub fn model(&self) -> &ProjectionModel {
+    /// The trained model (any family).
+    pub fn model(&self) -> &TrainedModel {
         self.engine.model()
     }
 
-    /// The trainer configuration that produced this model (after any
-    /// cross-validated `(γ, λ)` adoption).
+    /// The ESZSL trainer configuration that produced this model (after any
+    /// cross-validated `(γ, λ)` adoption). Reflects the fit only when no
+    /// [`Pipeline::with_trainer`] override was set — see
+    /// [`TrainedPipeline::trainer`] otherwise.
     pub fn config(&self) -> &EszslConfig {
         &self.config
+    }
+
+    /// The trainer override that produced this model, when
+    /// [`Pipeline::with_trainer`] set one (after any cross-validated
+    /// `(γ, λ)` adoption).
+    pub fn trainer(&self) -> Option<&dyn Trainer> {
+        self.trainer.as_deref()
     }
 
     /// The cross-validation report, when [`Pipeline::cross_validate`] ran.
@@ -182,13 +245,19 @@ impl<S: FeatureSource + ?Sized> TrainedPipeline<'_, S> {
     /// and the class counts — so a serving process can boot from this file
     /// alone and an operator can later tell artifacts apart.
     pub fn save(&self, path: &Path) -> Result<(), ZslError> {
+        let trainer = match &self.trainer {
+            Some(t) => t.describe(),
+            None => format!(
+                "trainer=eszsl; gamma={}; lambda={}; normalize_features={}; \
+                 normalize_signatures={}",
+                self.config.gamma,
+                self.config.lambda,
+                self.config.normalize_features,
+                self.config.normalize_signatures,
+            ),
+        };
         let metadata = format!(
-            "trainer=eszsl; gamma={}; lambda={}; normalize_features={}; \
-             normalize_signatures={}; similarity={}; seen_classes={}; unseen_classes={}",
-            self.config.gamma,
-            self.config.lambda,
-            self.config.normalize_features,
-            self.config.normalize_signatures,
+            "{trainer}; similarity={}; seen_classes={}; unseen_classes={}",
             self.engine.similarity(),
             self.source.num_seen_classes(),
             self.source.num_unseen_classes(),
@@ -264,7 +333,12 @@ mod tests {
             .fit(&ds)
             .expect("fit");
         assert_eq!(
-            trained.model().weights().as_slice(),
+            trained
+                .model()
+                .projection()
+                .expect("linear")
+                .weights()
+                .as_slice(),
             direct.weights().as_slice()
         );
     }
@@ -336,9 +410,68 @@ mod tests {
             .train(&ds.train_x, &ds.train_labels, &ds.seen_signatures)
             .expect("train");
         assert_eq!(
-            trained.model().weights().as_slice(),
+            trained
+                .model()
+                .projection()
+                .expect("linear")
+                .weights()
+                .as_slice(),
             direct.weights().as_slice()
         );
         assert_eq!(trained.engine().similarity(), Similarity::Dot);
+    }
+
+    #[test]
+    fn trainer_override_is_sticky_from_sweep_to_artifact_metadata() {
+        use crate::eval::{cross_validate_with, select_train_evaluate_with};
+        use crate::source::DynSource;
+        use crate::trainer::{ModelFamily, SaeConfig, SaeTrainer};
+
+        let ds = SyntheticConfig::new().seed(31).build();
+        let cfg = CrossValConfig::new()
+            .gammas(vec![1.0])
+            .lambdas(vec![0.1, 1.0, 10.0])
+            .folds(3)
+            .seed(8);
+        let trained = Pipeline::from(&ds)
+            .with_trainer(SaeTrainer::new(SaeConfig::new()))
+            .cross_validate(&cfg)
+            .expect("cv")
+            .train()
+            .expect("train");
+        assert_eq!(trained.model().family(), ModelFamily::Sae);
+        // Same numbers as the direct generic protocol.
+        let sae = SaeTrainer::new(SaeConfig::new());
+        let direct_cv = cross_validate_with(&sae, &DynSource(&ds), &cfg).expect("direct cv");
+        assert_eq!(trained.cv_report(), Some(&direct_cv));
+        let (_, direct_report) =
+            select_train_evaluate_with(&sae, &DynSource(&ds), &cfg).expect("direct");
+        assert_eq!(trained.evaluate().expect("evaluate"), direct_report);
+        // The adopted λ shows up in the provenance the artifact will carry.
+        let description = trained.trainer().expect("override").describe();
+        assert!(
+            description.contains(&format!("trainer=sae; lambda={}", direct_cv.best.lambda)),
+            "got {description}"
+        );
+    }
+
+    #[test]
+    fn trainer_override_rejects_sweep_normalization() {
+        use crate::trainer::{SaeConfig, SaeTrainer};
+
+        let ds = SyntheticConfig::new().seed(13).build();
+        let cfg = CrossValConfig::new()
+            .gammas(vec![1.0])
+            .lambdas(vec![1.0])
+            .folds(2)
+            .normalize_features(true);
+        let err = Pipeline::from(&ds)
+            .with_trainer(SaeTrainer::new(SaeConfig::new()))
+            .cross_validate(&cfg)
+            .unwrap_err();
+        assert!(
+            matches!(&err, ZslError::Config(msg) if msg.contains("with_trainer")),
+            "got {err:?}"
+        );
     }
 }

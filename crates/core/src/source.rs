@@ -104,6 +104,53 @@ pub trait FeatureSource {
     }
 }
 
+/// Sized delegating wrapper that turns any `&S` (including `&dyn
+/// FeatureSource` itself) into something coercible to `&dyn FeatureSource`.
+///
+/// Generic functions over `S: FeatureSource + ?Sized` cannot unsize `&S`
+/// directly, but `&DynSource<S>` is a reference to a *sized* type, so the
+/// coercion applies — this is how the generic eval entry points hand their
+/// source to the object-safe [`crate::trainer::Trainer`] API.
+pub struct DynSource<'s, S: FeatureSource + ?Sized>(pub &'s S);
+
+impl<S: FeatureSource + ?Sized> FeatureSource for DynSource<'_, S> {
+    fn split_len(&self, split: SplitKind) -> usize {
+        self.0.split_len(split)
+    }
+
+    fn trainval_len(&self) -> usize {
+        self.0.trainval_len()
+    }
+
+    fn seen_signatures(&self) -> Cow<'_, Matrix> {
+        self.0.seen_signatures()
+    }
+
+    fn unseen_signatures(&self) -> Cow<'_, Matrix> {
+        self.0.unseen_signatures()
+    }
+
+    fn stream(&self, split: SplitKind) -> Result<SourceStream<'_>, ZslError> {
+        self.0.stream(split)
+    }
+
+    fn stream_trainval_subset(&self, positions: &[usize]) -> Result<SourceStream<'_>, ZslError> {
+        self.0.stream_trainval_subset(positions)
+    }
+
+    fn num_seen_classes(&self) -> usize {
+        self.0.num_seen_classes()
+    }
+
+    fn num_unseen_classes(&self) -> usize {
+        self.0.num_unseen_classes()
+    }
+
+    fn union_signatures(&self) -> Matrix {
+        self.0.union_signatures()
+    }
+}
+
 /// Shared out-of-range check for trainval-subset positions, matching the
 /// error the streaming loader raises.
 fn validate_subset_positions(positions: &[usize], len: usize) -> Result<(), ZslError> {

@@ -19,11 +19,12 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use zsl_core::data::{DataError, DatasetBundle, Rng};
+use zsl_core::data::{DataError, DatasetBundle, Rng, SyntheticConfig};
 use zsl_core::eval::evaluate_gzsl_with;
 use zsl_core::infer::{ScoringEngine, Similarity};
 use zsl_core::linalg::Matrix;
 use zsl_core::model::{EszslConfig, ProjectionModel};
+use zsl_core::trainer::{KernelEszslConfig, KernelKind, ModelFamily, SaeConfig, Trainer};
 use zsl_core::{ZslError, ZSM_HEADER_LEN};
 
 /// Frozen `GzslReport` bits of the γ = λ = 1 cosine engine on the fixture —
@@ -54,6 +55,30 @@ fn random_engine(seed: u64, d: usize, a: usize, z: usize, sim: Similarity) -> Sc
     let w = Matrix::from_vec(d, a, (0..d * a).map(|_| rng.normal()).collect());
     let bank = Matrix::from_vec(z, a, (0..z * a).map(|_| rng.normal()).collect());
     ScoringEngine::new(ProjectionModel::from_weights(w), bank, sim)
+}
+
+/// The linear-family projection weights of an engine as a raw slice — the
+/// suites below compare ESZSL engines bit-for-bit.
+fn weights(engine: &ScoringEngine) -> &[f64] {
+    engine
+        .model()
+        .projection()
+        .expect("linear model")
+        .weights()
+        .as_slice()
+}
+
+/// Fit a small engine of whatever family `trainer` produces, over a fixed
+/// synthetic dataset's union bank.
+fn family_engine(trainer: &dyn Trainer) -> ScoringEngine {
+    let ds = SyntheticConfig::new()
+        .classes(6, 2)
+        .dims(4, 5)
+        .samples(4, 3)
+        .seed(99)
+        .build();
+    let model = trainer.fit(&ds).expect("fit");
+    ScoringEngine::new(model, ds.all_signatures(), Similarity::Dot)
 }
 
 /// The γ = λ = 1 cosine engine over the fixture's union bank — the engine
@@ -90,8 +115,8 @@ fn random_models_round_trip_to_bit_identical_predictions() {
             assert_eq!(meta, metadata);
             assert_eq!(back.similarity(), sim, "case {case}");
             assert_eq!(
-                back.model().weights().as_slice(),
-                engine.model().weights().as_slice(),
+                weights(&back),
+                weights(&engine),
                 "case {case}: weights drifted"
             );
             assert_eq!(
@@ -333,18 +358,31 @@ fn committed_artifact_reproduces_the_frozen_gzsl_report() {
     // And the artifact bytes themselves are what a fresh train would save.
     let fresh = fixture_engine();
     assert_eq!(
-        engine.model().weights().as_slice(),
-        fresh.model().weights().as_slice(),
+        weights(&engine),
+        weights(&fresh),
         "artifact weights drifted from a fresh fixture train"
     );
     assert_eq!(
         engine.signatures().as_slice(),
         fresh.signatures().as_slice()
     );
+    // The committed fixture is the version-1 backward-compat witness: it must
+    // stay a v1 file (the v2 reader's v1 path decodes it as ESZSL).
+    let raw = std::fs::read(dir.join("model.zsm")).expect("read fixture bytes");
+    assert_eq!(
+        u16::from_le_bytes(raw[4..6].try_into().unwrap()),
+        1,
+        "the committed fixture must remain a version-1 artifact"
+    );
+    assert_eq!(raw[9], 0, "v1 reserved byte");
+    assert_eq!(engine.model().family(), ModelFamily::Eszsl);
 }
 
 /// Regenerate the committed golden artifact. Intentional format changes
-/// only — run, then commit the new `tests/fixtures/tiny_bundle/model.zsm`:
+/// only — run, then commit the new `tests/fixtures/tiny_bundle/model.zsm`.
+/// The fixture doubles as the version-1 backward-compat witness, so after
+/// saving (which writes the current version) the version field is stamped
+/// back to 1 — an ESZSL payload is byte-identical across v1 and v2.
 /// `cargo test -p zsl-core --test model_artifacts -- --ignored regenerate`
 #[test]
 #[ignore = "writes the committed fixture; run explicitly after intentional format changes"]
@@ -357,7 +395,10 @@ fn regenerate_model_artifact() {
              normalize_signatures=false; similarity=cosine; seen_classes=4; unseen_classes=2",
         )
         .expect("save golden artifact");
-    println!("wrote {}", path.display());
+    let mut bytes = std::fs::read(&path).expect("read back");
+    bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("stamp version 1");
+    println!("wrote {} (stamped version 1)", path.display());
 }
 
 // ---------------------------------------------------------------------------
@@ -445,14 +486,131 @@ fn bad_magic_version_flags_similarity_and_trailing_bytes_are_header_errors() {
         );
     }
 
-    // Version skew message names both versions, steering the operator.
-    let err = corrupt(&|b| b[4..6].copy_from_slice(&2u16.to_le_bytes()));
+    // Version skew message names the supported range, steering the operator.
+    let err = corrupt(&|b| b[4..6].copy_from_slice(&3u16.to_le_bytes()));
     match err {
         DataError::Header { message, .. } => {
-            assert!(message.contains("unsupported version 2"), "got: {message}")
+            assert!(
+                message.contains("unsupported version 3") && message.contains("1-2"),
+                "got: {message}"
+            )
         }
         other => panic!("expected Header, got {other:?}"),
     }
+    // An unknown model-family code is a typed header error too.
+    let err = corrupt(&|b| b[9] = 7);
+    match err {
+        DataError::Header { message, .. } => {
+            assert!(
+                message.contains("unknown model family code 7"),
+                "got: {message}"
+            )
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Version-compatibility layer (.zsm v1 <-> v2)
+// ---------------------------------------------------------------------------
+
+/// A non-ESZSL v2 artifact whose version field is rewritten to 1 must fail
+/// the v1 reserved-byte check with a typed header error: a v1 reader (and
+/// this reader in v1 mode) can never misparse an SAE or kernel payload as a
+/// plain projection.
+#[test]
+fn v2_families_masquerading_as_v1_are_rejected() {
+    let trainers: [(&str, Box<dyn Trainer>); 2] = [
+        ("sae", Box::new(SaeConfig::new().build())),
+        ("kernel", Box::new(KernelEszslConfig::new().build())),
+    ];
+    for (tag, trainer) in trainers {
+        let path = temp_path(&format!("masquerade_{tag}"));
+        let engine = family_engine(trainer.as_ref());
+        engine.save(&path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        assert_eq!(
+            u16::from_le_bytes(bytes[4..6].try_into().unwrap()),
+            2,
+            "{tag}: writer must emit version 2"
+        );
+        assert_ne!(bytes[9], 0, "{tag}: non-ESZSL family byte");
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        match expect_data_err(&path) {
+            DataError::Header { message, .. } => {
+                assert!(message.contains("reserved"), "{tag}: {message}")
+            }
+            other => panic!("{tag}: expected Header, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Kernel artifacts round-trip bit-for-bit, and every field of their extra
+/// payload block is validated with typed errors.
+#[test]
+fn kernel_artifacts_round_trip_and_validate_their_block() {
+    let trainer = KernelEszslConfig::new()
+        .kernel(KernelKind::Rbf { width: 0.3 })
+        .max_anchors(6)
+        .build();
+    let engine = family_engine(&trainer);
+    let path = temp_path("kernel_block");
+    engine.save_with_metadata(&path, "k").expect("save");
+    let (back, meta) = ScoringEngine::load_with_metadata(&path).expect("load");
+    assert_eq!(meta, "k");
+    assert_eq!(back.model().family(), ModelFamily::KernelEszsl);
+    let km = back.model().kernel_model().expect("kernel model");
+    let orig = engine.model().kernel_model().expect("kernel model");
+    assert_eq!(km.kernel(), orig.kernel());
+    assert_eq!(km.alpha().as_slice(), orig.alpha().as_slice());
+    assert_eq!(km.anchors().as_slice(), orig.anchors().as_slice());
+    // Scores over a random batch are bit-identical after the round trip.
+    let mut rng = Rng::new(0xFACE);
+    let d = engine.feature_dim();
+    let x = Matrix::from_vec(9, d, (0..9 * d).map(|_| rng.normal()).collect());
+    assert_eq!(back.scores(&x).as_slice(), engine.scores(&x).as_slice());
+
+    let pristine = std::fs::read(&path).expect("read");
+    let block = ZSM_HEADER_LEN as usize + 1; // metadata is 1 byte
+                                             // Unknown kernel code.
+    let mut bad = pristine.clone();
+    bad[block] = 9;
+    std::fs::write(&path, &bad).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => {
+            assert!(message.contains("unknown kernel code 9"), "{message}")
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+    // Non-finite RBF width.
+    let mut bad = pristine.clone();
+    bad[block + 8..block + 16].copy_from_slice(&f64::NAN.to_le_bytes());
+    std::fs::write(&path, &bad).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => {
+            assert!(message.contains("width"), "{message}")
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+    // Zero anchors.
+    let mut bad = pristine.clone();
+    bad[block + 16..block + 24].copy_from_slice(&0u64.to_le_bytes());
+    std::fs::write(&path, &bad).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => {
+            assert!(message.contains("zero anchors"), "{message}")
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+    // Truncation inside the kernel block is a typed truncation error.
+    std::fs::write(&path, &pristine[..block + 10]).expect("write");
+    assert!(matches!(
+        expect_data_err(&path),
+        DataError::Truncated { .. }
+    ));
     std::fs::remove_file(&path).ok();
 }
 

@@ -60,8 +60,18 @@ fn pipeline_facade_equals_direct_protocol_for_every_source_kind() {
     assert_eq!(streamed.cv_report(), Some(&direct_cv));
     assert_eq!(streamed.evaluate().expect("evaluate"), direct_report);
     assert_eq!(
-        streamed.model().weights().as_slice(),
-        trained.model().weights().as_slice()
+        streamed
+            .model()
+            .projection()
+            .expect("linear")
+            .weights()
+            .as_slice(),
+        trained
+            .model()
+            .projection()
+            .expect("linear")
+            .weights()
+            .as_slice()
     );
 
     // Runtime-chosen source through a trait object (the CLI's shape).

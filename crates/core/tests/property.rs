@@ -1,15 +1,17 @@
 //! Property-based test layer: seeded randomized sweeps with no external
 //! dependencies (all randomness flows through the crate's own `Rng`).
 //!
-//! Five families, matching the loader/solver/streaming invariants the
+//! Six families, matching the loader/solver/streaming invariants the
 //! subsystem promises:
 //! 1. bundle round-trips (write → read → bit-identical matrices) across
 //!    random shapes, seeds, and both on-disk formats;
 //! 2. raw-label ↔ dense-id remapping is bijective for arbitrary label sets;
 //! 3. Cholesky solve residuals stay below 1e-8 across 50 random SPD systems;
-//! 4. random chunk boundaries never change the FNV digests of the streamed
+//! 4. Sylvester solve residuals (`AX + XB = C`, the SAE backbone) stay below
+//!    1e-8 across 50 random well-conditioned systems;
+//! 5. random chunk boundaries never change the FNV digests of the streamed
 //!    `XᵀX` / `XᵀY` Gram accumulators;
-//! 5. a `.zsb` file truncated mid-chunk is a typed `DataError::Truncated`
+//! 6. a `.zsb` file truncated mid-chunk is a typed `DataError::Truncated`
 //!    and never yields a partial accumulator.
 
 mod common;
@@ -263,5 +265,41 @@ fn cholesky_solve_residuals_below_1e8_across_50_random_spd_systems() {
         for (r, &xv) in x.iter().enumerate() {
             assert_eq!(x_matrix.get(r, 0), xv, "system {system} row {r}");
         }
+    }
+}
+
+#[test]
+fn sylvester_solve_residuals_below_1e8_across_50_random_systems() {
+    // The SAE trainer's backbone: AX + XB = C with A, B symmetric
+    // positive-definite (the shape `solve_sylvester` is specified for).
+    let mut rng = Rng::new(0x5AE_CD01);
+    for system in 0..50 {
+        let n = 1 + (rng.next_u64() % 12) as usize;
+        let m = 1 + (rng.next_u64() % 12) as usize;
+        // A = PᵀP + I/2 and B = QᵀQ + I/2 are SPD and well-conditioned at
+        // these sizes, mirroring the Cholesky sweep above.
+        let p = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.normal()).collect());
+        let mut a = p.transpose().matmul(&p);
+        a.add_scaled_identity(0.5);
+        let q = Matrix::from_vec(m, m, (0..m * m).map(|_| rng.normal()).collect());
+        let mut b = q.transpose().matmul(&q);
+        b.add_scaled_identity(0.5);
+        let c = Matrix::from_vec(n, m, (0..n * m).map(|_| rng.normal()).collect());
+
+        let x = zsl_core::solve_sylvester(&a, &b, &c).expect("solve_sylvester");
+
+        // Residual ‖A·X + X·B − C‖∞ must be tiny relative to f64 precision.
+        let ax = a.matmul(&x);
+        let xb = x.matmul(&b);
+        let mut worst: f64 = 0.0;
+        for r in 0..n {
+            for col in 0..m {
+                worst = worst.max((ax.get(r, col) + xb.get(r, col) - c.get(r, col)).abs());
+            }
+        }
+        assert!(
+            worst < 1e-8,
+            "system {system} (n={n}, m={m}): residual {worst:e} above 1e-8"
+        );
     }
 }

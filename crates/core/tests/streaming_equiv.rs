@@ -4,11 +4,12 @@
 //! through the single generic code path and produces bit-identical results
 //! at every chunk size** — Gram accumulators, trained weights, predictions,
 //! GZSL reports, and the full CV → fit → evaluate protocol. The twin
-//! `*_stream` implementations are gone (only `#[deprecated]` wrappers
-//! remain), so the comparisons here pit a materialized [`Dataset`] source
+//! `*_stream` implementations (and their `#[deprecated]` wrappers) are gone,
+//! so the comparisons here pit a materialized [`Dataset`] source
 //! against a [`StreamingBundle`] source through the *same* generic entry
 //! points, on both on-disk formats, over synthetic bundles and the committed
-//! `tests/fixtures/tiny_bundle/`.
+//! `tests/fixtures/tiny_bundle/`. (`tests/trainer_equiv.rs` extends the same
+//! chunk-invariance wall to the SAE and kernel-ESZSL trainers.)
 //!
 //! The streamed side of every comparison goes through [`StreamingBundle`]
 //! only — no full feature `Matrix` is ever constructed on that side, and
@@ -497,67 +498,5 @@ fn split_stream_fuses_after_first_error_without_fabricating_a_second() {
     assert!(saw_parse_error);
     assert!(stream.next().is_none(), "stream must fuse after an error");
     assert!(stream.next().is_none());
-    std::fs::remove_dir_all(&dir).ok();
-}
-
-/// Satellite guarantee: the old `*_stream` names keep compiling and keep
-/// returning the exact bits of the generic path they now wrap.
-#[test]
-#[allow(deprecated)]
-fn deprecated_stream_wrappers_still_reproduce_the_generic_results() {
-    let ds = synthetic_dataset();
-    let dir = temp_dir("wrappers");
-    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
-    let bundle = StreamingBundle::open(&dir, 5).expect("open");
-    let mem = DatasetBundle::load(&dir)
-        .expect("load")
-        .to_dataset()
-        .expect("materialize");
-    let config = CrossValConfig::new()
-        .gammas(vec![0.1, 1.0])
-        .lambdas(vec![1.0])
-        .folds(2)
-        .seed(3);
-
-    let (generic_cv, generic_report) =
-        select_train_evaluate(&bundle, &config).expect("generic protocol");
-    let (wrapped_cv, wrapped_report) =
-        zsl_core::eval::select_train_evaluate_stream(&bundle, &config).expect("wrapper protocol");
-    assert_eq!(wrapped_cv, generic_cv);
-    assert_eq!(wrapped_report, generic_report);
-
-    let model = EszslConfig::new().build().fit(&mem).expect("fit");
-    assert_eq!(
-        zsl_core::eval::evaluate_gzsl_stream(&model, &bundle, Similarity::Cosine).expect("wrapper"),
-        evaluate_gzsl(&model, &bundle, Similarity::Cosine).expect("generic")
-    );
-    assert_eq!(
-        zsl_core::eval::cross_validate_stream(&bundle, &config).expect("wrapper"),
-        cross_validate(&bundle, &config).expect("generic")
-    );
-
-    // train_stream / predict_stream wrappers.
-    let trainer = EszslConfig::new().gamma(0.5).lambda(2.0).build();
-    let stream = bundle
-        .stream_trainval()
-        .expect("stream")
-        .map(|r| r.map_err(zsl_core::EvalError::from));
-    let streamed: zsl_core::ProjectionModel = trainer
-        .train_stream(stream, &bundle.seen_signatures())
-        .expect("train_stream");
-    let fitted = trainer.fit(&bundle).expect("fit");
-    assert_eq!(streamed.weights().as_slice(), fitted.weights().as_slice());
-
-    let engine = ScoringEngine::new(fitted, bundle.union_signatures(), Similarity::Cosine);
-    let chunks = bundle
-        .stream_test_seen()
-        .expect("stream")
-        .map(|r| r.map(|(x, _)| x));
-    assert_eq!(
-        engine.predict_stream(chunks).expect("predict_stream"),
-        engine
-            .predict_source(&bundle, SplitKind::TestSeen)
-            .expect("predict_source")
-    );
     std::fs::remove_dir_all(&dir).ok();
 }

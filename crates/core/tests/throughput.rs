@@ -9,7 +9,10 @@
 //! Set `ZSL_BENCH_SMOKE=1` (as CI does on every push) to shrink the workload
 //! to a few hundred milliseconds while still exercising the parallel path.
 //! Each test prints a stable `[bench]`-prefixed line so future PRs can diff
-//! throughput against this baseline.
+//! throughput against this baseline. Setting `ZSL_BENCH_JSON=<path>`
+//! additionally makes the per-trainer test write its numbers as a JSON
+//! snapshot (the committed `BENCH_core.json` trajectory, mirroring the
+//! serve crate's `BENCH_serving.json`).
 
 use std::time::Instant;
 use zsl_core::data::{export_dataset, DatasetBundle, Rng, StreamingBundle, SyntheticConfig};
@@ -17,6 +20,7 @@ use zsl_core::eval::evaluate_gzsl;
 use zsl_core::infer::{ScoringEngine, Similarity};
 use zsl_core::linalg::{default_threads, Matrix};
 use zsl_core::model::{EszslConfig, EszslProblem, GramAccumulator, ProjectionModel};
+use zsl_core::trainer::{KernelEszslConfig, SaeConfig, Trainer};
 use zsl_core::Pipeline;
 
 /// Workload shape: `n` samples of `d` features, projected to `a` attributes,
@@ -290,6 +294,79 @@ fn pipeline_facade_vs_direct_calls() {
         t_facade,
         t_facade / t_direct
     );
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn per_trainer_fit_and_score_timing() {
+    // One timing line per model family through the same generic [`Trainer`]
+    // path: closed-form ESZSL, the Sylvester-solved SAE, and kernelized
+    // ESZSL with the anchor budget a deployment would use. Scoring goes
+    // through the engine, so the kernel line includes the per-row kernel
+    // expansion the primal families skip.
+    let w = workload();
+    let seen = 32.min(w.z);
+    let per_class = (w.n / seen).max(1);
+    let ds = SyntheticConfig::new()
+        .classes(seen, 8)
+        .dims(w.a.min(seen - 1), w.d)
+        .samples(per_class, 2)
+        .seed(0x7EA1)
+        .build();
+    let n_train = ds.train_x.rows();
+    let max_anchors = 1024.min(n_train);
+    let trainers: [(&str, Box<dyn Trainer>); 3] = [
+        ("eszsl", Box::new(EszslConfig::new().build())),
+        ("sae", Box::new(SaeConfig::new().build())),
+        (
+            "kernel-eszsl",
+            Box::new(KernelEszslConfig::new().max_anchors(max_anchors).build()),
+        ),
+    ];
+    let mut snapshots = Vec::new();
+    for (tag, trainer) in &trainers {
+        let (t_fit, model) = time_best(w.iters, || trainer.fit(&ds).expect("fit"));
+        let engine = ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine);
+        let (t_score, predictions) = time_best(w.iters, || engine.predict(&ds.train_x));
+        assert_eq!(predictions.len(), n_train, "{tag}: lost rows while scoring");
+        println!(
+            "[bench] trainer={tag} n_train={} d={} a={} z={}: fit={:.4}s ({:.0} rows/s) \
+             score={:.4}s ({:.0} rows/s)",
+            n_train,
+            w.d,
+            ds.seen_signatures.cols(),
+            ds.num_classes(),
+            t_fit,
+            n_train as f64 / t_fit,
+            t_score,
+            n_train as f64 / t_score,
+        );
+        snapshots.push(format!(
+            "{{ \"name\": \"{tag}\", \"fit_s\": {:.6}, \"fit_rows_per_s\": {:.1}, \
+             \"score_s\": {:.6}, \"score_rows_per_s\": {:.1} }}",
+            t_fit,
+            n_train as f64 / t_fit,
+            t_score,
+            n_train as f64 / t_score,
+        ));
+    }
+    if let Ok(json_path) = std::env::var("ZSL_BENCH_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"core-trainers\",\n  \"smoke\": {},\n  \"workload\": {{ \
+             \"n_train\": {}, \"d\": {}, \"a\": {}, \"z\": {} }},\n  \"max_anchors\": {},\n  \
+             \"threads\": {},\n  \"trainers\": [\n    {}\n  ]\n}}\n",
+            smoke(),
+            n_train,
+            w.d,
+            ds.seen_signatures.cols(),
+            ds.num_classes(),
+            max_anchors,
+            default_threads(),
+            snapshots.join(",\n    "),
+        );
+        std::fs::write(&json_path, json).expect("write bench json");
+        println!("[bench] wrote {json_path}");
+    }
 }
 
 #[test]

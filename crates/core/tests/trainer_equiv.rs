@@ -1,0 +1,288 @@
+//! Differential test layer for the [`Trainer`] abstraction: every model
+//! family — ESZSL, SAE, kernel ESZSL (linear and RBF) — flows through the
+//! SAME generic path and inherits the streaming guarantees the ESZSL suite
+//! (`tests/streaming_equiv.rs`) pins:
+//!
+//! 1. **Chunk invariance** — a fit over a [`StreamingBundle`] is
+//!    bit-identical to a fit over the materialized [`Dataset`] at every
+//!    chunk size, for every family (weights for the linear families, dual
+//!    weights + anchors for the kernel family).
+//! 2. **Protocol invariance** — seeded cross-validation and the GZSL report
+//!    through [`cross_validate_with`] / [`select_train_evaluate_with`]
+//!    produce the same bits streamed and in-memory, with each family
+//!    sweeping its own grid shape.
+//! 3. **Artifact round trips** — every family's engine persists to a `.zsm`
+//!    v2 artifact and reloads to bit-identical scores and reports, and a
+//!    resave of the reloaded engine is byte-identical.
+//! 4. **Golden wall** — the committed `tests/fixtures/tiny_bundle/` pins
+//!    frozen `GzslReport` bits for the SAE and kernel trainers, next to the
+//!    ESZSL bits `model_artifacts.rs` pins. Regenerate via the `--ignored
+//!    print_trainer_golden_bits` test after intentional solver changes.
+
+use std::path::PathBuf;
+use zsl_core::data::{export_dataset, DatasetBundle, FeatureFormat, StreamingBundle};
+use zsl_core::eval::{cross_validate_with, select_train_evaluate_with, CrossValConfig};
+use zsl_core::infer::{ScoringEngine, Similarity};
+use zsl_core::model::EszslConfig;
+use zsl_core::trainer::{KernelEszslConfig, KernelKind, SaeConfig, TrainedModel, Trainer};
+use zsl_core::{evaluate_gzsl_with, Dataset, SyntheticConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("zsl_trainer_equiv_{}_{tag}", std::process::id()))
+}
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("tiny_bundle")
+}
+
+/// The chunk sizes the streaming wall pins: degenerate (1), coprime-ish
+/// small (3, 7), exactly one chunk (n), and larger than the data (n + 13).
+fn chunk_sizes(n_rows: usize) -> [usize; 5] {
+    [1, 3, 7, n_rows, n_rows + 13]
+}
+
+fn synthetic_dataset() -> Dataset {
+    SyntheticConfig::new()
+        .classes(6, 2)
+        .dims(4, 5)
+        .samples(4, 3)
+        .noise(0.05)
+        .seed(20_26)
+        .build()
+}
+
+/// One representative trainer per family (plus both kernels), with
+/// hyperparameters off the defaults where the family allows it.
+fn trainers() -> Vec<(&'static str, Box<dyn Trainer>)> {
+    vec![
+        (
+            "eszsl",
+            Box::new(EszslConfig::new().gamma(0.5).lambda(2.0).build()),
+        ),
+        ("sae", Box::new(SaeConfig::new().lambda(0.7).build())),
+        (
+            "kernel-linear",
+            Box::new(KernelEszslConfig::new().gamma(0.5).lambda(2.0).build()),
+        ),
+        (
+            "kernel-rbf",
+            Box::new(
+                KernelEszslConfig::new()
+                    .kernel(KernelKind::Rbf { width: 0.25 })
+                    .max_anchors(10)
+                    .build(),
+            ),
+        ),
+    ]
+}
+
+/// Bit-level equality across families: weights for the linear families,
+/// dual weights + anchors + kernel for the kernel family.
+fn assert_same_model(a: &TrainedModel, b: &TrainedModel, label: &str) {
+    assert_eq!(a.family(), b.family(), "{label}: family");
+    match (a.projection(), b.projection()) {
+        (Some(x), Some(y)) => {
+            assert_eq!(
+                x.weights().as_slice(),
+                y.weights().as_slice(),
+                "{label}: weights"
+            );
+        }
+        _ => {
+            let x = a.kernel_model().expect(label);
+            let y = b.kernel_model().expect(label);
+            assert_eq!(x.kernel(), y.kernel(), "{label}: kernel");
+            assert_eq!(x.alpha().as_slice(), y.alpha().as_slice(), "{label}: alpha");
+            assert_eq!(
+                x.anchors().as_slice(),
+                y.anchors().as_slice(),
+                "{label}: anchors"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_family_is_chunk_invariant_and_matches_in_memory() {
+    let ds = synthetic_dataset();
+    let dir = temp_dir("chunks");
+    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
+    let mem = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let n = mem.train_x.rows();
+    for (tag, trainer) in trainers() {
+        let reference = trainer.fit(&mem).expect("in-memory fit");
+        for chunk_rows in chunk_sizes(n) {
+            let bundle = StreamingBundle::open(&dir, chunk_rows).expect("open");
+            let streamed = trainer.fit(&bundle).expect("streamed fit");
+            assert_same_model(&streamed, &reference, &format!("{tag} chunk={chunk_rows}"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generic_cv_and_gzsl_protocols_are_chunk_invariant_for_every_family() {
+    let ds = synthetic_dataset();
+    let dir = temp_dir("protocol");
+    export_dataset(&ds, &dir, FeatureFormat::Zsb).expect("export");
+    let mem = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let n = mem.train_x.rows();
+    let config = CrossValConfig::new()
+        .gammas(vec![0.1, 1.0])
+        .lambdas(vec![0.5, 5.0])
+        .folds(3)
+        .seed(11);
+    for (tag, trainer) in trainers() {
+        let reference_cv = cross_validate_with(trainer.as_ref(), &mem, &config).expect("cv");
+        // Each family sweeps its own grid: SAE collapses γ, the others take
+        // the cartesian product.
+        let expected_grid = match tag {
+            "sae" => config.lambdas.len(),
+            _ => config.gammas.len() * config.lambdas.len(),
+        };
+        assert_eq!(reference_cv.grid.len(), expected_grid, "{tag}: grid shape");
+        let (_, reference_report) =
+            select_train_evaluate_with(trainer.as_ref(), &mem, &config).expect("protocol");
+        for chunk_rows in chunk_sizes(n) {
+            let bundle = StreamingBundle::open(&dir, chunk_rows).expect("open");
+            let cv = cross_validate_with(trainer.as_ref(), &bundle, &config).expect("cv");
+            assert_eq!(cv, reference_cv, "{tag} chunk={chunk_rows}: cv drifted");
+            let (_, report) =
+                select_train_evaluate_with(trainer.as_ref(), &bundle, &config).expect("protocol");
+            assert_eq!(
+                report, reference_report,
+                "{tag} chunk={chunk_rows}: report drifted"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_family_round_trips_through_zsm_v2_bit_for_bit() {
+    let ds = synthetic_dataset();
+    for (tag, trainer) in trainers() {
+        let model = trainer.fit(&ds).expect("fit");
+        let engine = ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine);
+        let report = evaluate_gzsl_with(&engine, &ds).expect("evaluate");
+        let path = std::env::temp_dir().join(format!(
+            "zsl_trainer_equiv_{}_{tag}.zsm",
+            std::process::id()
+        ));
+        let metadata = trainer.describe();
+        engine.save_with_metadata(&path, &metadata).expect("save");
+        let (back, meta) = ScoringEngine::load_with_metadata(&path).expect("load");
+        assert_eq!(meta, metadata, "{tag}: metadata drifted");
+        assert_same_model(back.model(), engine.model(), tag);
+        assert_eq!(
+            evaluate_gzsl_with(&back, &ds).expect("evaluate reloaded"),
+            report,
+            "{tag}: served report drifted"
+        );
+        // A resave of the reloaded engine is byte-identical: the format is a
+        // fixed point for every family, not an approximation.
+        let path2 = path.with_extension("resave.zsm");
+        back.save_with_metadata(&path2, &metadata).expect("resave");
+        assert_eq!(
+            std::fs::read(&path).expect("read a"),
+            std::fs::read(&path2).expect("read b"),
+            "{tag}: resave not byte-identical"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden wall: frozen GzslReport bits per family on the committed fixture
+// ---------------------------------------------------------------------------
+
+/// Frozen `GzslReport` bits (seen, unseen, harmonic mean) of the default
+/// SAE trainer (λ = 1) on `tests/fixtures/tiny_bundle/`, cosine over the
+/// union bank — the SAE analogue of `GOLDEN_REPORT_BITS`.
+const SAE_GOLDEN_REPORT_BITS: [u64; 3] = [
+    0x3fd0_0000_0000_0000,
+    0x3fe0_0000_0000_0000,
+    0x3fd5_5555_5555_5555,
+];
+
+/// Frozen `GzslReport` bits of the default linear-kernel ESZSL trainer
+/// (γ = λ = 1, all anchors) on the same fixture.
+const KERNEL_GOLDEN_REPORT_BITS: [u64; 3] = [
+    0x3fd0_0000_0000_0000,
+    0x3fe0_0000_0000_0000,
+    0x3fd5_5555_5555_5555,
+];
+
+/// The two non-ESZSL golden trainers, with the default hyperparameters the
+/// constants above freeze.
+fn golden_trainers() -> [(&'static str, Box<dyn Trainer>, [u64; 3]); 2] {
+    [
+        (
+            "sae",
+            Box::new(SaeConfig::new().build()),
+            SAE_GOLDEN_REPORT_BITS,
+        ),
+        (
+            "kernel-linear",
+            Box::new(KernelEszslConfig::new().build()),
+            KERNEL_GOLDEN_REPORT_BITS,
+        ),
+    ]
+}
+
+fn fixture_report(trainer: &dyn Trainer) -> zsl_core::GzslReport {
+    let ds = DatasetBundle::load(&fixture_dir())
+        .expect("load fixture")
+        .to_dataset()
+        .expect("materialize");
+    let model = trainer.fit(&ds).expect("fit");
+    let engine = ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine);
+    evaluate_gzsl_with(&engine, &ds).expect("evaluate")
+}
+
+#[test]
+fn golden_wall_extends_to_sae_and_kernel_families() {
+    for (tag, trainer, expected) in golden_trainers() {
+        let report = fixture_report(trainer.as_ref());
+        let got = [
+            report.seen_accuracy.to_bits(),
+            report.unseen_accuracy.to_bits(),
+            report.harmonic_mean.to_bits(),
+        ];
+        assert_eq!(
+            got, expected,
+            "{tag}: golden report drifted: ({}, {}, {}), bits {got:#018x?}",
+            report.seen_accuracy, report.unseen_accuracy, report.harmonic_mean
+        );
+    }
+}
+
+/// Print the current golden bits for the constants above. Intentional
+/// solver changes only: `cargo test -p zsl-core --test trainer_equiv -- \
+/// --ignored print_trainer_golden_bits --nocapture`, then paste.
+#[test]
+#[ignore = "prints constants for the golden wall; run explicitly after intentional changes"]
+fn print_trainer_golden_bits() {
+    for (tag, trainer, _) in golden_trainers() {
+        let report = fixture_report(trainer.as_ref());
+        println!(
+            "{tag}: [{:#018x}, {:#018x}, {:#018x}] // ({}, {}, {})",
+            report.seen_accuracy.to_bits(),
+            report.unseen_accuracy.to_bits(),
+            report.harmonic_mean.to_bits(),
+            report.seen_accuracy,
+            report.unseen_accuracy,
+            report.harmonic_mean
+        );
+    }
+}

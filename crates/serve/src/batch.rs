@@ -194,7 +194,7 @@ fn worker_loop(inner: &Inner) {
 /// Score one coalesced batch against ONE model snapshot and fan results out.
 fn score_batch(inner: &Inner, batch: Vec<Pending>) {
     let snapshot: Arc<ModelSnapshot> = inner.model.snapshot();
-    let d = snapshot.engine.model().weights().rows();
+    let d = snapshot.engine.feature_dim();
     let z = snapshot.engine.num_classes();
 
     // Reject width-mismatched rows per row; everything else forms the batch

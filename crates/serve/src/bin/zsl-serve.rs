@@ -91,11 +91,12 @@ fn main() -> ExitCode {
     };
     let snapshot = server.model().snapshot();
     println!(
-        "zsl-serve: model {} ({} features -> {} attrs -> {} classes, {} similarity), \
+        "zsl-serve: model {} ({}, {} features -> {} attrs -> {} classes, {} similarity), \
          generation {}",
         model_path,
-        snapshot.engine.model().weights().rows(),
-        snapshot.engine.model().weights().cols(),
+        snapshot.engine.model().family(),
+        snapshot.engine.feature_dim(),
+        snapshot.engine.model().attr_dim(),
         snapshot.engine.num_classes(),
         snapshot.engine.similarity(),
         snapshot.generation,

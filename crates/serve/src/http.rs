@@ -13,7 +13,7 @@
 //! |-------|----------|
 //! | `GET /healthz` | liveness: `200 ok` |
 //! | `GET /stats`   | `key=value` counter lines (see [`crate::stats`]) |
-//! | `GET /model`   | generation, dims, similarity, provenance metadata |
+//! | `GET /model`   | generation, model family, dims, similarity, provenance metadata |
 //! | `POST /reload` | force a model reload now (`503` + old model kept on failure) |
 //! | `POST /predict[?k=N]` | score feature rows (see below) |
 //!
@@ -357,11 +357,12 @@ fn route(
             let snapshot = model.snapshot();
             let engine = &snapshot.engine;
             Ok(format!(
-                "generation={}\nfeature_dim={}\nattr_dim={}\nclasses={}\nsimilarity={}\n\
-                 threads={}\nmetadata={}\n",
+                "generation={}\nfamily={}\nfeature_dim={}\nattr_dim={}\nclasses={}\n\
+                 similarity={}\nthreads={}\nmetadata={}\n",
                 snapshot.generation,
-                engine.model().weights().rows(),
-                engine.model().weights().cols(),
+                engine.model().family(),
+                engine.feature_dim(),
+                engine.model().attr_dim(),
                 engine.num_classes(),
                 engine.similarity(),
                 engine.threads(),

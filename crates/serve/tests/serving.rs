@@ -23,7 +23,8 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 use zsl_core::data::Rng;
 use zsl_core::model::ProjectionModel;
-use zsl_core::{Matrix, ScoringEngine, Similarity};
+use zsl_core::trainer::{KernelEszslConfig, KernelKind, SaeConfig, Trainer};
+use zsl_core::{Matrix, ScoringEngine, Similarity, SyntheticConfig};
 use zsl_serve::{BatchConfig, Server, ServerConfig};
 
 // ---------------------------------------------------------------------------
@@ -141,6 +142,79 @@ fn daemon_boots_from_artifact_alone_and_serves_bit_identical_predictions() {
     assert_eq!(lines.len(), rows.len());
     for (row, line) in rows.iter().zip(lines) {
         assert_eq!(line, expected_line(&engine, row, 4, 1));
+    }
+}
+
+#[test]
+fn daemon_boots_every_model_family_from_its_artifact_alone() {
+    // The daemon knows nothing about trainers: the `.zsm` family tag alone
+    // must reconstruct an SAE projection and a kernelized (dual-form)
+    // scorer, and both serve bit-identical to the in-process engine.
+    let ds = SyntheticConfig::new()
+        .classes(6, 2)
+        .dims(4, 5)
+        .samples(4, 3)
+        .noise(0.05)
+        .seed(0xFA01)
+        .build();
+    let trainers: [(&str, Box<dyn Trainer>); 2] = [
+        ("sae", Box::new(SaeConfig::new().lambda(0.7).build())),
+        (
+            "kernel-eszsl",
+            Box::new(
+                KernelEszslConfig::new()
+                    .kernel(KernelKind::Rbf { width: 0.25 })
+                    .max_anchors(8)
+                    .build(),
+            ),
+        ),
+    ];
+    for (family, trainer) in trainers {
+        let model = trainer.fit(&ds).expect("fit");
+        let engine = ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine);
+        let path = temp_artifact(&format!("family_{family}"));
+        engine
+            .save_with_metadata(&path, &trainer.describe())
+            .expect("save");
+        let server = Server::start(&path, ServerConfig::default()).expect("start");
+        // Artifact alone: nothing else on disk is consulted per request.
+        std::fs::remove_file(&path).expect("remove artifact");
+
+        let (status, body) = get(server.addr(), "/model");
+        assert_eq!(status, 200, "{family}: {body}");
+        assert!(
+            body.contains(&format!("family={family}")),
+            "{family}: {body}"
+        );
+        assert!(body.contains("feature_dim=5"), "{family}: {body}");
+        assert!(
+            body.contains(&format!("metadata={}", trainer.describe())),
+            "{family}: {body}"
+        );
+
+        let mut rng = Rng::new(0xB007);
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|_| (0..5).map(|_| rng.normal()).collect())
+            .collect();
+        let payload: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        let (status, body) = http(
+            server.addr(),
+            "POST",
+            "/predict?k=3",
+            &(payload.join("\n") + "\n"),
+        );
+        assert_eq!(status, 200, "{family}: {body}");
+        for (row, line) in rows.iter().zip(body.lines()) {
+            assert_eq!(line, expected_line(&engine, row, 3, 1), "{family}");
+        }
     }
 }
 

@@ -67,7 +67,7 @@ fn client_loop(
         .expect("timeout");
     stream.set_nodelay(true).ok();
     let mut rng = Rng::new(seed);
-    let d = engine.model().weights().rows();
+    let d = engine.feature_dim();
     let mut latencies = Vec::with_capacity(requests);
     for _ in 0..requests {
         let row: Vec<f64> = (0..d).map(|_| rng.normal()).collect();
