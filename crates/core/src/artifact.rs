@@ -9,7 +9,7 @@
 //! |-------:|------:|-------|
 //! | 0      | 4     | magic `"ZSMF"` |
 //! | 4      | 2     | version (= 2; version-1 files still load) |
-//! | 6      | 2     | flags (bit 0: bank stored pre-normalized) |
+//! | 6      | 2     | flags (bit 0: bank stored pre-normalized; bit 1: score in f32 — v2 only) |
 //! | 8      | 1     | similarity (0 = cosine, 1 = dot) |
 //! | 9      | 1     | model family (0 = eszsl, 1 = sae, 2 = kernel-eszsl; must be 0 in v1 files, where this byte was reserved) |
 //! | 10     | 6     | reserved (= 0) |
@@ -87,6 +87,12 @@ static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// the similarity is cosine).
 const FLAG_BANK_PRENORMALIZED: u16 = 1 << 0;
 
+/// Flags bit 1 (v2 only): the engine scores in single precision. The payload
+/// stays full f64 — training precision is never reduced on disk — and the
+/// loader rebuilds the f32 mirror from it, so flipping the flag is always
+/// lossless and reversible.
+const FLAG_SCORE_F32: u16 = 1 << 1;
+
 impl ScoringEngine {
     /// Persist this engine as a `.zsm` artifact with empty provenance
     /// metadata. See [`ScoringEngine::save_with_metadata`].
@@ -132,11 +138,14 @@ impl ScoringEngine {
             Vec::with_capacity(ZSM_HEADER_LEN as usize + metadata.len() + 8 * (d * a + z * a));
         bytes.extend_from_slice(&ZSM_MAGIC);
         bytes.extend_from_slice(&ZSM_VERSION.to_le_bytes());
-        let flags = if self.similarity() == Similarity::Cosine {
+        let mut flags = if self.similarity() == Similarity::Cosine {
             FLAG_BANK_PRENORMALIZED
         } else {
             0
         };
+        if self.precision() == crate::infer::ScoringPrecision::F32 {
+            flags |= FLAG_SCORE_F32;
+        }
         bytes.extend_from_slice(&flags.to_le_bytes());
         bytes.push(match self.similarity() {
             Similarity::Cosine => 0,
@@ -259,10 +268,20 @@ fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
         ));
     }
     let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
-    if flags & !FLAG_BANK_PRENORMALIZED != 0 {
+    // v1 defined only bit 0; the f32-scoring bit arrived with v2, so a v1
+    // file carrying it is corrupt rather than merely newer.
+    let known_flags = if version == 1 {
+        FLAG_BANK_PRENORMALIZED
+    } else {
+        FLAG_BANK_PRENORMALIZED | FLAG_SCORE_F32
+    };
+    if flags & !known_flags != 0 {
         return Err(DataError::header(
             path,
-            format!("unknown flags 0x{flags:04x}, version {ZSM_VERSION} defines only bit 0"),
+            format!(
+                "unknown flags 0x{flags:04x}, version {version} defines only \
+                 0x{known_flags:04x} (bit 0: pre-normalized bank; bit 1, v2 only: f32 scoring)"
+            ),
         ));
     }
     let similarity = match bytes[8] {
@@ -517,9 +536,12 @@ fn read_zsm(path: &Path) -> Result<(ScoringEngine, String), DataError> {
     // Its validation failures (shape/finiteness inconsistencies a crafted
     // header could smuggle past the checks above) are typed errors: this is
     // the serving boot path, and it must never panic on untrusted bytes.
-    let engine =
+    let mut engine =
         ScoringEngine::from_cached_parts(model, bank, similarity, crate::linalg::default_threads())
             .map_err(|msg| DataError::header(path, format!("inconsistent model payload: {msg}")))?;
+    if flags & FLAG_SCORE_F32 != 0 {
+        engine = engine.with_precision(crate::infer::ScoringPrecision::F32);
+    }
     Ok((engine, metadata))
 }
 

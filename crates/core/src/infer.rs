@@ -14,7 +14,7 @@
 use crate::error::ZslError;
 use crate::linalg::{default_threads, Matrix, NORM_EPSILON};
 use crate::source::{FeatureSource, SplitKind};
-use crate::trainer::TrainedModel;
+use crate::trainer::{KernelKind, TrainedModel};
 use std::cmp::Ordering;
 
 /// Rows per chunk used by [`ScoringEngine::predict`] and
@@ -59,6 +59,46 @@ impl std::str::FromStr for Similarity {
     }
 }
 
+/// Numeric precision the engine scores in. Training always runs in `f64`;
+/// [`ScoringPrecision::F32`] casts the model parameters, the (already
+/// normalized) signature bank, and each input batch to `f32` once, runs the
+/// same banded kernels in single precision (roughly half the memory
+/// traffic), and widens the final scores back to `f64` losslessly. Within
+/// each precision, results stay bit-identical across thread counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScoringPrecision {
+    /// Full double precision — the default, bit-compatible with training.
+    #[default]
+    F64,
+    /// Opt-in single-precision serving (train f64, serve f32).
+    F32,
+}
+
+impl std::fmt::Display for ScoringPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoringPrecision::F64 => write!(f, "f64"),
+            ScoringPrecision::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+impl std::str::FromStr for ScoringPrecision {
+    type Err = String;
+
+    /// Parse `"f64"` or `"f32"` (case-insensitive) — the spelling used by
+    /// CLI flags and artifact metadata.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" => Ok(ScoringPrecision::F64),
+            "f32" => Ok(ScoringPrecision::F32),
+            other => Err(format!(
+                "unknown scoring precision '{other}', expected 'f64' or 'f32'"
+            )),
+        }
+    }
+}
+
 /// A ranked prediction: class indices ordered best-first with their scores.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TopK {
@@ -89,6 +129,64 @@ pub struct ScoringEngine {
     signatures: Matrix,
     similarity: Similarity,
     threads: usize,
+    precision: ScoringPrecision,
+    /// Eagerly-cast single-precision mirror of the model and bank, present
+    /// exactly when `precision == F32` so scoring never casts parameters
+    /// per call.
+    f32_parts: Option<F32Parts>,
+}
+
+/// Single-precision mirror of an engine's parameters: the trained model's
+/// matrices and the (already f64-normalized) signature bank, cast to `f32`
+/// once at [`ScoringEngine::with_precision`] time.
+#[derive(Clone, Debug)]
+struct F32Parts {
+    model: F32Model,
+    /// `num_classes x attr_dim` bank, cast from the cached f64 rows — the
+    /// cosine normalization already happened in f64, so the cast preserves
+    /// the bank semantics exactly up to rounding.
+    bank: Vec<f32>,
+}
+
+#[derive(Clone, Debug)]
+enum F32Model {
+    /// Linear families (ESZSL, SAE): `w` is `d x a` row-major.
+    Projection { w: Vec<f32>, d: usize, a: usize },
+    /// Kernel family: dual weights `alpha : k x a` over `anchors : k x d`.
+    Kernel {
+        alpha: Vec<f32>,
+        anchors: Vec<f32>,
+        k: usize,
+        d: usize,
+        a: usize,
+        kernel: KernelKind,
+    },
+}
+
+fn cast_f32(m: &Matrix) -> Vec<f32> {
+    m.as_slice().iter().map(|&v| v as f32).collect()
+}
+
+fn build_f32_parts(model: &TrainedModel, signatures: &Matrix) -> F32Parts {
+    let model32 = match model {
+        TrainedModel::Eszsl(p) | TrainedModel::Sae(p) => F32Model::Projection {
+            w: cast_f32(p.weights()),
+            d: p.weights().rows(),
+            a: p.weights().cols(),
+        },
+        TrainedModel::Kernel(km) => F32Model::Kernel {
+            alpha: cast_f32(km.alpha()),
+            anchors: cast_f32(km.anchors()),
+            k: km.anchors().rows(),
+            d: km.anchors().cols(),
+            a: km.alpha().cols(),
+            kernel: km.kernel(),
+        },
+    };
+    F32Parts {
+        model: model32,
+        bank: cast_f32(signatures),
+    }
 }
 
 impl ScoringEngine {
@@ -153,6 +251,8 @@ impl ScoringEngine {
             signatures,
             similarity,
             threads: threads.max(1),
+            precision: ScoringPrecision::F64,
+            f32_parts: None,
         })
     }
 
@@ -182,7 +282,35 @@ impl ScoringEngine {
             signatures,
             similarity,
             threads: threads.max(1),
+            precision: ScoringPrecision::F64,
+            f32_parts: None,
         })
+    }
+
+    /// Switch the engine's scoring precision, (re)building or dropping the
+    /// cached `f32` mirror as needed. Consuming-builder style so artifact
+    /// loaders and pipelines can chain it after construction:
+    /// `engine.with_precision(ScoringPrecision::F32)`.
+    pub fn with_precision(mut self, precision: ScoringPrecision) -> Self {
+        self.precision = precision;
+        self.f32_parts = match precision {
+            ScoringPrecision::F64 => None,
+            ScoringPrecision::F32 => Some(build_f32_parts(&self.model, &self.signatures)),
+        };
+        self
+    }
+
+    /// The precision scores are computed in.
+    pub fn precision(&self) -> ScoringPrecision {
+        self.precision
+    }
+
+    /// Resize the engine's worker-thread budget in place (`0` is treated as
+    /// `1`). Serving stacks call this once at boot so every connection thread
+    /// shares one deliberately-sized engine instead of each assuming the full
+    /// machine.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Number of candidate classes.
@@ -218,11 +346,62 @@ impl ScoringEngine {
 
     /// Full score matrix: `n_samples x num_classes`.
     pub fn scores(&self, x: &Matrix) -> Matrix {
+        if let Some(parts) = &self.f32_parts {
+            return self.scores_f32(parts, x);
+        }
         let mut projected = self.model.project_parallel(x, self.threads);
         if self.similarity == Similarity::Cosine {
             projected.l2_normalize_rows();
         }
         projected.matmul_bt_parallel(&self.signatures, self.threads)
+    }
+
+    /// The single-precision scoring path: cast the batch once, run the same
+    /// project → normalize → `X·Sᵀ` pipeline through the generic `f32`
+    /// kernels, and widen the scores back to `f64` (lossless), so every
+    /// downstream consumer (`predict`, `predict_topk`, chunking) is shared
+    /// verbatim with the `f64` path.
+    fn scores_f32(&self, parts: &F32Parts, x: &Matrix) -> Matrix {
+        use crate::linalg::{
+            gemm_bt_parallel, gemm_parallel, l2_normalize_rows_slab, rbf_gram_parallel,
+        };
+        let n = x.rows();
+        let d_in = self.model.feature_dim();
+        assert_eq!(
+            x.cols(),
+            d_in,
+            "scores shape mismatch: {}x{} features vs projection dim {}",
+            n,
+            x.cols(),
+            d_in
+        );
+        let x32: Vec<f32> = x.as_slice().iter().map(|&v| v as f32).collect();
+        let mut proj: Vec<f32> = match &parts.model {
+            F32Model::Projection { w, d, a } => gemm_parallel(&x32, n, *d, w, *a, self.threads),
+            F32Model::Kernel {
+                alpha,
+                anchors,
+                k,
+                d,
+                a,
+                kernel,
+            } => {
+                let phi = match kernel {
+                    KernelKind::Linear => gemm_bt_parallel(&x32, n, *d, anchors, *k, self.threads),
+                    KernelKind::Rbf { width } => {
+                        rbf_gram_parallel(&x32, n, *d, anchors, *k, *width as f32, self.threads)
+                    }
+                };
+                gemm_parallel(&phi, n, *k, alpha, *a, self.threads)
+            }
+        };
+        let a_dim = self.signatures.cols();
+        if self.similarity == Similarity::Cosine {
+            l2_normalize_rows_slab(&mut proj, a_dim);
+        }
+        let z = self.signatures.rows();
+        let scores32 = gemm_bt_parallel(&proj, n, a_dim, &parts.bank, z, self.threads);
+        Matrix::from_vec(n, z, scores32.into_iter().map(f64::from).collect())
     }
 
     /// Stream scores in row chunks of at most `chunk_rows` (`0` is treated as
@@ -841,6 +1020,55 @@ mod tests {
             );
             assert_eq!(engine.predict(&x), baseline.predict(&x));
         }
+    }
+
+    #[test]
+    fn f32_precision_tracks_f64_scores_and_is_thread_invariant() {
+        let mut rng = crate::data::Rng::new(0xF32);
+        let w = Matrix::from_vec(6, 4, (0..24).map(|_| rng.normal()).collect());
+        let bank = Matrix::from_vec(5, 4, (0..20).map(|_| rng.normal()).collect());
+        let x = Matrix::from_vec(32, 6, (0..192).map(|_| rng.normal()).collect());
+        let f64_engine = ScoringEngine::with_threads(
+            ProjectionModel::from_weights(w.clone()),
+            bank.clone(),
+            Similarity::Cosine,
+            1,
+        );
+        assert_eq!(f64_engine.precision(), ScoringPrecision::F64);
+        let f32_engine = f64_engine.clone().with_precision(ScoringPrecision::F32);
+        assert_eq!(f32_engine.precision(), ScoringPrecision::F32);
+        let reference = f32_engine.scores(&x);
+        // Single precision tracks double to f32 roundoff on these magnitudes.
+        let drift = reference.max_abs_diff(&f64_engine.scores(&x));
+        assert!(
+            drift > 0.0 && drift < 1e-4,
+            "f32 drift {drift} out of range"
+        );
+        // Bit-identical across thread counts within the f32 precision.
+        for threads in [2usize, 4, 9] {
+            let mut engine = f32_engine.clone();
+            engine.set_threads(threads);
+            assert_eq!(
+                engine.scores(&x).as_slice(),
+                reference.as_slice(),
+                "threads={threads}"
+            );
+        }
+        // Round-tripping back to f64 restores the exact double-precision path.
+        let restored = f32_engine.clone().with_precision(ScoringPrecision::F64);
+        assert_eq!(
+            restored.scores(&x).as_slice(),
+            f64_engine.scores(&x).as_slice()
+        );
+    }
+
+    #[test]
+    fn scoring_precision_parses_and_displays_round_trip() {
+        for p in [ScoringPrecision::F64, ScoringPrecision::F32] {
+            assert_eq!(p.to_string().parse::<ScoringPrecision>(), Ok(p));
+        }
+        assert_eq!("F32".parse::<ScoringPrecision>(), Ok(ScoringPrecision::F32));
+        assert!("f16".parse::<ScoringPrecision>().is_err());
     }
 
     #[test]

@@ -116,10 +116,11 @@ pub use eval::{
 };
 pub use infer::{
     harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy,
-    ClassAccuracyCounter, Classifier, ScoringEngine, Similarity, TopK,
+    ClassAccuracyCounter, Classifier, ScoringEngine, ScoringPrecision, Similarity, TopK,
 };
 pub use linalg::{
-    default_threads, solve_spd, solve_sylvester, Cholesky, LinalgError, Matrix, SymmetricEigen,
+    default_threads, pool_threads, solve_spd, solve_sylvester, Cholesky, LinalgError, Matrix,
+    SymmetricEigen,
 };
 pub use model::{
     EszslConfig, EszslProblem, EszslTrainer, GramAccumulator, ProjectionModel, RidgeConfig,

@@ -34,7 +34,7 @@
 //! this differentially.
 
 use crate::error::ZslError;
-use crate::linalg::{solve_sylvester, Matrix};
+use crate::linalg::{default_threads, solve_sylvester, Matrix};
 use crate::model::{
     validate_regularizer, EszslProblem, EszslTrainer, GramAccumulator, ProjectionModel, TrainError,
 };
@@ -132,9 +132,11 @@ impl std::fmt::Display for KernelKind {
 /// The kernel feature map `Φ(X) = k(X, anchors) : n x m`.
 ///
 /// Row `i` depends only on row `i` of `x` and the anchor set, so the map is
-/// chunk-size-invariant by construction; the linear case routes through the
-/// bit-identical-across-threads packed `X·Aᵀ` kernel, and the RBF case uses a
-/// fixed per-pair summation order (serial regardless of `threads`).
+/// chunk-size-invariant by construction. Both cases honor `threads` through
+/// the shared worker pool: the linear case routes through the packed `X·Aᵀ`
+/// kernel, and the RBF case is row-banded with a fixed per-row summation
+/// order (ascending anchor, then ascending feature), so every thread count
+/// produces bit-identical Grams.
 pub(crate) fn kernel_map(
     x: &Matrix,
     anchors: &Matrix,
@@ -145,20 +147,16 @@ pub(crate) fn kernel_map(
         KernelKind::Linear => x.matmul_bt_parallel(anchors, threads),
         KernelKind::Rbf { width } => {
             let (n, m, d) = (x.rows(), anchors.rows(), x.cols());
-            let mut out = Matrix::zeros(n, m);
-            for i in 0..n {
-                let xi = x.row(i);
-                for j in 0..m {
-                    let aj = anchors.row(j);
-                    let mut s = 0.0;
-                    for k in 0..d {
-                        let diff = xi[k] - aj[k];
-                        s += diff * diff;
-                    }
-                    out.set(i, j, (-width * s).exp());
-                }
-            }
-            out
+            let data = crate::linalg::rbf_gram_parallel(
+                x.as_slice(),
+                n,
+                d,
+                anchors.as_slice(),
+                m,
+                width,
+                threads,
+            );
+            Matrix::from_vec(n, m, data)
         }
     }
 }
@@ -816,7 +814,9 @@ impl KernelEszslTrainer {
                 ))));
             }
             let x = prep_features(&x, self.config.normalize_features);
-            let phi = kernel_map(&x, &anchors, self.config.kernel, 1);
+            // Safe to parallelize: the map is bit-identical across thread
+            // counts for both kernels, so streamed training stays exact.
+            let phi = kernel_map(&x, &anchors, self.config.kernel, default_threads());
             acc.fold(&phi, &labels)?;
         }
         Ok((acc.finish().map_err(ZslError::from)?, anchors))
@@ -991,6 +991,28 @@ mod tests {
                 assert_eq!(k.get(i, j).to_bits(), k.get(j, i).to_bits(), "({i},{j})");
                 assert!(k.get(i, j) > 0.0 && k.get(i, j) <= 1.0);
             }
+        }
+    }
+
+    #[test]
+    fn rbf_kernel_map_honors_threads_bit_identically() {
+        // Regression for the serial-RBF bug: the map must engage the banded
+        // path (this shape is above the parallel work cutoff) and still match
+        // the single-threaded Gram bit-for-bit at every thread count.
+        let mut rng = crate::data::Rng::new(0xB1F);
+        let n = 300;
+        let (d, m) = (32, 16);
+        let x = Matrix::from_vec(n, d, (0..n * d).map(|_| rng.normal()).collect());
+        let anchors = Matrix::from_vec(m, d, (0..m * d).map(|_| rng.normal()).collect());
+        let kernel = KernelKind::Rbf { width: 0.25 };
+        let serial = kernel_map(&x, &anchors, kernel, 1);
+        for threads in [2usize, 4, 9] {
+            let parallel = kernel_map(&x, &anchors, kernel, threads);
+            assert_eq!(
+                parallel.as_slice(),
+                serial.as_slice(),
+                "RBF Gram diverged at {threads} threads"
+            );
         }
     }
 

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use zsl_core::data::{DataError, DatasetBundle, Rng, SyntheticConfig};
 use zsl_core::eval::evaluate_gzsl_with;
-use zsl_core::infer::{ScoringEngine, Similarity};
+use zsl_core::infer::{ScoringEngine, ScoringPrecision, Similarity};
 use zsl_core::linalg::Matrix;
 use zsl_core::model::{EszslConfig, ProjectionModel};
 use zsl_core::trainer::{KernelEszslConfig, KernelKind, ModelFamily, SaeConfig, Trainer};
@@ -505,6 +505,75 @@ fn bad_magic_version_flags_similarity_and_trailing_bytes_are_header_errors() {
                 message.contains("unknown model family code 7"),
                 "got: {message}"
             )
+        }
+        other => panic!("expected Header, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// f32-scoring flag layer (.zsm flag bit 1, v2 only)
+// ---------------------------------------------------------------------------
+
+/// The opt-in f32 scoring mode rides the artifact as flag bit 1: the
+/// payload stays full f64 on disk (lossless, reversible), the loader
+/// rebuilds the f32 mirror, and a v1 reader — which defines only bit 0 —
+/// rejects the flag instead of silently serving the wrong precision.
+#[test]
+fn f32_scoring_flag_round_trips_and_is_rejected_by_v1() {
+    let path = temp_path("f32_flag");
+    let engine =
+        random_engine(0xF32, 6, 4, 7, Similarity::Cosine).with_precision(ScoringPrecision::F32);
+    engine.save_with_metadata(&path, "f32").expect("save");
+    let pristine = std::fs::read(&path).expect("read");
+    let flags = u16::from_le_bytes(pristine[6..8].try_into().unwrap());
+    assert_ne!(flags & 0b10, 0, "save must set flag bit 1 for f32 scoring");
+
+    // The loader applies the flag: the reloaded engine scores in f32,
+    // bit-identical to the in-memory f32 engine, and a resave is
+    // byte-identical (the flag is part of the format's fixed point).
+    let back = ScoringEngine::load(&path).expect("load");
+    assert_eq!(back.precision(), ScoringPrecision::F32);
+    let mut rng = Rng::new(0xF32F32);
+    let x = Matrix::from_vec(9, 6, (0..9 * 6).map(|_| rng.normal()).collect());
+    assert_eq!(
+        back.scores(&x).as_slice(),
+        engine.scores(&x).as_slice(),
+        "reloaded f32 scores drifted"
+    );
+    let path2 = temp_path("f32_flag2");
+    back.save_with_metadata(&path2, "f32").expect("resave");
+    assert_eq!(
+        pristine,
+        std::fs::read(&path2).expect("read resave"),
+        "resave not byte-identical"
+    );
+    std::fs::remove_file(&path2).ok();
+
+    // The payload is still full f64: clearing the flag in place yields a
+    // plain artifact that loads in f64 and scores bit-identically to the
+    // engine before `with_precision` — the mode is reversible on disk.
+    let mut plain = pristine.clone();
+    plain[6..8].copy_from_slice(&(flags & !0b10).to_le_bytes());
+    std::fs::write(&path, &plain).expect("write");
+    let f64_back = ScoringEngine::load(&path).expect("load cleared flag");
+    assert_eq!(f64_back.precision(), ScoringPrecision::F64);
+    let reference = random_engine(0xF32, 6, 4, 7, Similarity::Cosine);
+    assert_eq!(
+        f64_back.scores(&x).as_slice(),
+        reference.scores(&x).as_slice(),
+        "clearing the flag must recover the exact f64 engine"
+    );
+
+    // Version 1 defines only bit 0: a v1 file carrying bit 1 is a typed
+    // header error, never a silently-ignored flag.
+    let mut v1 = pristine.clone();
+    v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+    std::fs::write(&path, &v1).expect("write");
+    match expect_data_err(&path) {
+        DataError::Header { message, .. } => {
+            assert!(message.contains("unknown flags"), "{message}");
+            assert!(message.contains("version 1"), "{message}");
         }
         other => panic!("expected Header, got {other:?}"),
     }

@@ -402,6 +402,42 @@ fn saved_zsm_engine_reproduces_the_fixture_report_after_reload() {
 }
 
 #[test]
+fn gzsl_reports_are_thread_invariant_over_streamed_and_in_memory_sources() {
+    // The chunk-invariance wall extended along the thread axis: with the
+    // scoring kernels row-banded over the shared worker pool, the full GZSL
+    // protocol is bit-identical at every engine thread count, on both the
+    // streamed and the materialized side.
+    let dir = fixture_dir();
+    let mem = DatasetBundle::load(&dir)
+        .expect("load")
+        .to_dataset()
+        .expect("materialize");
+    let model = EszslConfig::new()
+        .gamma(1.0)
+        .lambda(1.0)
+        .build()
+        .fit(&mem)
+        .expect("fit");
+    let mut engine = ScoringEngine::new(model, mem.all_signatures(), Similarity::Cosine);
+    engine.set_threads(1);
+    let mem_reference = evaluate_gzsl_with(&engine, &mem).expect("serial in-memory report");
+    for threads in [1, 2, 4, 9] {
+        engine.set_threads(threads);
+        assert_eq!(
+            evaluate_gzsl_with(&engine, &mem).expect("in-memory report"),
+            mem_reference,
+            "threads={threads}: in-memory report drifted"
+        );
+        let bundle = StreamingBundle::open(&dir, 3).expect("open");
+        assert_eq!(
+            evaluate_gzsl_with(&engine, &bundle).expect("streamed report"),
+            mem_reference,
+            "threads={threads}: streamed report drifted"
+        );
+    }
+}
+
+#[test]
 fn csv_file_shrinking_after_open_is_a_typed_error_not_a_smaller_split() {
     // A .zsb file re-validates its promised length on every open and maps a
     // mid-read shrink to Truncated. CSV has no header, so a file that loses

@@ -17,10 +17,10 @@
 use std::time::Instant;
 use zsl_core::data::{export_dataset, DatasetBundle, Rng, StreamingBundle, SyntheticConfig};
 use zsl_core::eval::evaluate_gzsl;
-use zsl_core::infer::{ScoringEngine, Similarity};
-use zsl_core::linalg::{default_threads, Matrix};
+use zsl_core::infer::{ScoringEngine, ScoringPrecision, Similarity};
+use zsl_core::linalg::{default_threads, pool_threads, Matrix};
 use zsl_core::model::{EszslConfig, EszslProblem, GramAccumulator, ProjectionModel};
-use zsl_core::trainer::{KernelEszslConfig, SaeConfig, Trainer};
+use zsl_core::trainer::{KernelEszslConfig, KernelKind, SaeConfig, Trainer};
 use zsl_core::Pipeline;
 
 /// Workload shape: `n` samples of `d` features, projected to `a` attributes,
@@ -354,7 +354,7 @@ fn per_trainer_fit_and_score_timing() {
         let json = format!(
             "{{\n  \"bench\": \"core-trainers\",\n  \"smoke\": {},\n  \"workload\": {{ \
              \"n_train\": {}, \"d\": {}, \"a\": {}, \"z\": {} }},\n  \"max_anchors\": {},\n  \
-             \"threads\": {},\n  \"trainers\": [\n    {}\n  ]\n}}\n",
+             \"threads\": {},\n  \"pool_threads\": {},\n  \"trainers\": [\n    {}\n  ]\n}}\n",
             smoke(),
             n_train,
             w.d,
@@ -362,10 +362,120 @@ fn per_trainer_fit_and_score_timing() {
             ds.num_classes(),
             max_anchors,
             default_threads(),
+            pool_threads(),
             snapshots.join(",\n    "),
         );
         std::fs::write(&json_path, json).expect("write bench json");
         println!("[bench] wrote {json_path}");
+    }
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn single_row_predict_latency_f64_vs_f32() {
+    // Batch-1 latency is what a serving daemon pays per uncoalesced request:
+    // dominated by per-call overhead (formerly thread spawns; now a pool
+    // check that stays serial below the work cutoff) plus one skinny gemm.
+    // The f32 line measures the opt-in reduced-precision serving mode on the
+    // same row.
+    let w = workload();
+    let iters = if smoke() { 2_000 } else { 20_000 };
+    let mut rng = Rng::new(0x0B17);
+    let weights = random_matrix(&mut rng, w.d, w.a);
+    let bank = random_matrix(&mut rng, w.z, w.a);
+    let row = random_matrix(&mut rng, 1, w.d);
+    let mut engine = ScoringEngine::new(
+        ProjectionModel::from_weights(weights),
+        bank,
+        Similarity::Cosine,
+    );
+
+    let time_single_row = |engine: &ScoringEngine| -> f64 {
+        let warm = engine.predict(&row);
+        assert_eq!(warm.len(), 1);
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(engine.predict(std::hint::black_box(&row)));
+        }
+        t.elapsed().as_secs_f64() / iters as f64
+    };
+
+    let t_f64 = time_single_row(&engine);
+    engine = engine.with_precision(ScoringPrecision::F32);
+    let t_f32 = time_single_row(&engine);
+    println!(
+        "[bench] single-row-predict d={} a={} z={} iters={}: f64={:.1}us f32={:.1}us ({:.2}x)",
+        w.d,
+        w.a,
+        w.z,
+        iters,
+        t_f64 * 1e6,
+        t_f32 * 1e6,
+        t_f64 / t_f32
+    );
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn rbf_gram_scoring_scales_with_pool_threads() {
+    // The fixed RBF branch: the Gram against the anchors is row-banded over
+    // the persistent worker pool (it used to run serial at any thread
+    // count). Serial and pooled scoring must be bit-identical — the bands
+    // keep each row's summation order — and on multi-core hardware the
+    // pooled path must win.
+    let w = workload();
+    let seen = 32.min(w.z);
+    let per_class = (w.n / seen).max(1);
+    let ds = SyntheticConfig::new()
+        .classes(seen, 8)
+        .dims(w.a.min(seen - 1), w.d)
+        .samples(per_class, 2)
+        .seed(0x4BF)
+        .build();
+    let n_train = ds.train_x.rows();
+    let max_anchors = 1024.min(n_train);
+    let model = KernelEszslConfig::new()
+        .kernel(KernelKind::Rbf { width: 0.5 })
+        .max_anchors(max_anchors)
+        .build()
+        .fit(&ds)
+        .expect("fit");
+    let mut engine = ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine);
+    let threads = default_threads();
+
+    engine.set_threads(1);
+    let reference = engine.scores(&ds.train_x);
+    let (t_serial, _) = time_best(w.iters, || engine.scores(&ds.train_x));
+    engine.set_threads(threads);
+    let pooled = engine.scores(&ds.train_x);
+    assert_eq!(
+        pooled.as_slice(),
+        reference.as_slice(),
+        "pooled RBF scoring drifted from serial"
+    );
+    let (t_pooled, _) = time_best(w.iters, || engine.scores(&ds.train_x));
+    println!(
+        "[bench] rbf-gram-scoring n={} d={} anchors={} threads={} (pool={}): \
+         serial={:.4}s ({:.0} rows/s) pooled={:.4}s ({:.0} rows/s) speedup={:.2}x",
+        n_train,
+        w.d,
+        max_anchors,
+        threads,
+        pool_threads(),
+        t_serial,
+        n_train as f64 / t_serial,
+        t_pooled,
+        n_train as f64 / t_pooled,
+        t_serial / t_pooled
+    );
+    // Acceptance gate: the RBF Gram must actually scale with threads on
+    // multi-core hardware at the full workload. Smoke mode and single-core
+    // runners only validate bit-identity above.
+    if threads > 1 && !smoke() {
+        assert!(
+            t_pooled < t_serial,
+            "pooled RBF scoring ({t_pooled:.4}s) did not beat serial ({t_serial:.4}s) on {threads} threads"
+        );
     }
 }
 

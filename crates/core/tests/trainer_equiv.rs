@@ -22,7 +22,7 @@
 use std::path::PathBuf;
 use zsl_core::data::{export_dataset, DatasetBundle, FeatureFormat, StreamingBundle};
 use zsl_core::eval::{cross_validate_with, select_train_evaluate_with, CrossValConfig};
-use zsl_core::infer::{ScoringEngine, Similarity};
+use zsl_core::infer::{ScoringEngine, ScoringPrecision, Similarity};
 use zsl_core::model::EszslConfig;
 use zsl_core::trainer::{KernelEszslConfig, KernelKind, SaeConfig, TrainedModel, Trainer};
 use zsl_core::{evaluate_gzsl_with, Dataset, SyntheticConfig};
@@ -199,6 +199,35 @@ fn every_family_round_trips_through_zsm_v2_bit_for_bit() {
         );
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&path2).ok();
+    }
+}
+
+/// Every family's scoring — f64 and the opt-in f32 variant — is
+/// bit-identical across thread counts now that all kernels (including the
+/// RBF Gram) run row-banded over the shared worker pool with fixed per-row
+/// summation order. Thread counts cover serial (1), even splits (2, 4), and
+/// more threads than some band widths (9).
+#[test]
+fn pooled_scoring_is_thread_invariant_for_every_family_and_precision() {
+    let ds = synthetic_dataset();
+    let x = &ds.test_unseen_x;
+    for (tag, trainer) in trainers() {
+        let model = trainer.fit(&ds).expect("fit");
+        let mut engine = ScoringEngine::new(model, ds.all_signatures(), Similarity::Cosine);
+        let z = engine.num_classes();
+        for precision in [ScoringPrecision::F64, ScoringPrecision::F32] {
+            engine = engine.with_precision(precision);
+            engine.set_threads(1);
+            let reference = engine.predict_topk(x, z);
+            for threads in [2, 4, 9] {
+                engine.set_threads(threads);
+                assert_eq!(
+                    engine.predict_topk(x, z),
+                    reference,
+                    "{tag} {precision} threads={threads}: scores drifted from serial"
+                );
+            }
+        }
     }
 }
 

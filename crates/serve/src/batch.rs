@@ -155,19 +155,34 @@ impl Drop for Coalescer {
     }
 }
 
+/// Should the worker linger for stragglers before scoring? Only when the
+/// rows are *fresh* — the queue was empty when this pass began — and the
+/// batch still has room. Leftover rows from a previous over-full drain have
+/// already waited one full linger + score cycle, and a queue that woke
+/// already at `max_batch` can't grow its batch: lingering in either case
+/// only adds dead latency. (This was a real bug: rows 257..N of a burst
+/// paid the linger again on every drain pass.)
+fn should_linger(queue_was_empty: bool, pending: usize, max_batch: usize) -> bool {
+    queue_was_empty && pending < max_batch
+}
+
 fn worker_loop(inner: &Inner) {
     loop {
         let mut queue = inner.queue.lock().expect("queue poisoned");
+        let queue_was_empty = queue.pending.is_empty();
         while queue.pending.is_empty() && !queue.shutdown {
             queue = inner.arrived.wait(queue).expect("queue poisoned");
         }
         if queue.pending.is_empty() && queue.shutdown {
             return;
         }
-        // Linger: something is queued — give concurrent requests a short
-        // window to join this batch, bounded by max_batch. Shutdown skips
-        // the linger so the drain is prompt.
-        if !queue.shutdown {
+        // Linger: give concurrent requests a short window to join this
+        // batch, bounded by max_batch. Shutdown skips the linger so the
+        // drain is prompt; so do leftover rows and already-full queues
+        // (see `should_linger`).
+        if !queue.shutdown
+            && should_linger(queue_was_empty, queue.pending.len(), inner.config.max_batch)
+        {
             let deadline = Instant::now() + inner.config.linger;
             while queue.pending.len() < inner.config.max_batch && !queue.shutdown {
                 let now = Instant::now();
@@ -345,6 +360,51 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.rows, 10);
         assert!(snap.max_batch_rows > 1, "rows never coalesced: {snap:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn linger_decision_skips_leftovers_and_full_queues() {
+        // Fresh rows with room to grow: linger.
+        assert!(should_linger(true, 1, 256));
+        assert!(should_linger(true, 255, 256));
+        // Woke to an already-full (or over-full) queue: score immediately.
+        assert!(!should_linger(true, 256, 256));
+        assert!(!should_linger(true, 300, 256));
+        // Leftovers from a previous over-full drain: score immediately.
+        assert!(!should_linger(false, 1, 256));
+        assert!(!should_linger(false, 300, 256));
+    }
+
+    #[test]
+    fn leftover_rows_after_a_full_drain_skip_the_linger() {
+        let (path, _) = artifact("leftover", 16, 4, 5);
+        // 6 rows against max_batch=2 force three drain passes. With the old
+        // linger (re-waited on every pass), passes 2 and 3 each burned the
+        // full 400ms window on an idle queue: >= 800ms total. Fixed, only
+        // the first (fresh) pass may linger, and it ends early once the
+        // queue hits max_batch.
+        let (coalescer, stats) = start(
+            &path,
+            BatchConfig {
+                max_batch: 2,
+                linger: Duration::from_millis(400),
+            },
+        );
+        let started = Instant::now();
+        let receivers: Vec<_> = (0..6)
+            .map(|_| coalescer.enqueue(vec![0.25; 4], 1))
+            .collect();
+        for rx in receivers {
+            rx.recv().expect("reply").expect("scored");
+        }
+        let elapsed = started.elapsed();
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows, 6);
+        assert!(
+            elapsed < Duration::from_millis(750),
+            "leftover rows re-lingered: 6 rows at max_batch=2 took {elapsed:?}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -21,12 +21,14 @@ use zsl_serve::{BatchConfig, Server, ServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: zsl-serve <model.zsm> [--addr HOST:PORT] [--max-batch N] [--linger-us N] \
-         [--watch-ms N | --no-watch] [--max-body-mb N]\n\n\
+        "usage: zsl-serve <model.zsm> [--addr HOST:PORT] [--threads N] [--max-batch N] \
+         [--linger-us N] [--watch-ms N | --no-watch] [--max-body-mb N]\n\n\
          Boots a prediction server from the .zsm artifact alone. Concurrent requests are\n\
          coalesced into batches (up to --max-batch rows, lingering --linger-us for\n\
          stragglers); the artifact path is polled every --watch-ms and hot-swapped\n\
-         atomically on change."
+         atomically on change. --threads pins the scoring engine's kernel parallelism\n\
+         (default: one band per CPU; pin it low on loaded boxes — request threads\n\
+         already provide concurrency, and kernel fan-out on top oversubscribes cores)."
     );
     ExitCode::FAILURE
 }
@@ -55,6 +57,10 @@ fn main() -> ExitCode {
         };
         match flag {
             "--addr" => config.addr = value.clone(),
+            "--threads" => match value.parse() {
+                Ok(n) if n > 0 => config.engine_threads = Some(n),
+                _ => return usage(),
+            },
             "--max-batch" => match value.parse() {
                 Ok(n) if n > 0 => batch.max_batch = n,
                 _ => return usage(),
@@ -91,19 +97,22 @@ fn main() -> ExitCode {
     };
     let snapshot = server.model().snapshot();
     println!(
-        "zsl-serve: model {} ({}, {} features -> {} attrs -> {} classes, {} similarity), \
-         generation {}",
+        "zsl-serve: model {} ({}, {} features -> {} attrs -> {} classes, {} similarity, \
+         {} scoring), generation {}",
         model_path,
         snapshot.engine.model().family(),
         snapshot.engine.feature_dim(),
         snapshot.engine.model().attr_dim(),
         snapshot.engine.num_classes(),
         snapshot.engine.similarity(),
+        snapshot.engine.precision(),
         snapshot.generation,
     );
     println!(
-        "zsl-serve: listening on http://{} (max_batch={}, linger={:?}, watch={:?})",
+        "zsl-serve: listening on http://{} (engine_threads={}, max_batch={}, linger={:?}, \
+         watch={:?})",
         server.addr(),
+        snapshot.engine.threads(),
         config.batch.max_batch,
         config.batch.linger,
         config.watch_interval,

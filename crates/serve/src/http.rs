@@ -13,7 +13,7 @@
 //! |-------|----------|
 //! | `GET /healthz` | liveness: `200 ok` |
 //! | `GET /stats`   | `key=value` counter lines (see [`crate::stats`]) |
-//! | `GET /model`   | generation, model family, dims, similarity, provenance metadata |
+//! | `GET /model`   | generation, model family, dims, similarity, scoring precision, provenance metadata |
 //! | `POST /reload` | force a model reload now (`503` + old model kept on failure) |
 //! | `POST /predict[?k=N]` | score feature rows (see below) |
 //!
@@ -51,6 +51,13 @@ pub struct ServerConfig {
     pub watch_interval: Option<Duration>,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
+    /// Kernel thread count for the shared scoring engine, sized once at
+    /// boot and re-applied on every hot swap. `None` keeps the library
+    /// default ([`zsl_core::default_threads`]). Request threads already
+    /// provide concurrency, so a loaded daemon usually wants this at 1–2:
+    /// per-request kernel fan-out on top of per-connection threads
+    /// oversubscribes the cores.
+    pub engine_threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +67,7 @@ impl Default for ServerConfig {
             batch: BatchConfig::default(),
             watch_interval: Some(Duration::from_millis(500)),
             max_body_bytes: 16 << 20,
+            engine_threads: None,
         }
     }
 }
@@ -80,7 +88,19 @@ impl Server {
     /// only state the daemon needs — bind, and start serving.
     pub fn start(model_path: &Path, config: ServerConfig) -> Result<Server, ServeError> {
         let stats = Arc::new(ServeStats::new());
-        let model = Arc::new(ModelHandle::boot(model_path, stats.clone())?);
+        let engine_threads = config
+            .engine_threads
+            .unwrap_or_else(zsl_core::default_threads)
+            .max(1);
+        let model = Arc::new(ModelHandle::boot_with_threads(
+            model_path,
+            stats.clone(),
+            engine_threads,
+        )?);
+        // Warm the process-wide linalg pool now, off the request path, and
+        // publish both sizing gauges so `/stats` shows how the engine was
+        // sized relative to the pool.
+        stats.set_thread_gauges(engine_threads, zsl_core::pool_threads());
         let coalescer = Arc::new(Coalescer::start(model.clone(), stats.clone(), config.batch));
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -358,13 +378,14 @@ fn route(
             let engine = &snapshot.engine;
             Ok(format!(
                 "generation={}\nfamily={}\nfeature_dim={}\nattr_dim={}\nclasses={}\n\
-                 similarity={}\nthreads={}\nmetadata={}\n",
+                 similarity={}\nprecision={}\nthreads={}\nmetadata={}\n",
                 snapshot.generation,
                 engine.model().family(),
                 engine.feature_dim(),
                 engine.model().attr_dim(),
                 engine.num_classes(),
                 engine.similarity(),
+                engine.precision(),
                 engine.threads(),
                 snapshot.metadata
             ))

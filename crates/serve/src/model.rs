@@ -59,15 +59,38 @@ pub struct ModelHandle {
     path: PathBuf,
     current: RwLock<(Arc<ModelSnapshot>, Fingerprint)>,
     stats: Arc<ServeStats>,
+    /// Kernel thread count applied to every engine this handle installs
+    /// (boot and each reload). Sized once at boot: request threads already
+    /// provide the serving concurrency, so the engine must not additionally
+    /// fan each batch out to `default_threads()` bands per request thread —
+    /// that oversubscribes the cores and slows every batch down.
+    engine_threads: usize,
 }
 
 impl ModelHandle {
     /// Boot from the artifact at `path`. This is the daemon's cold start:
     /// the box needs the `.zsm` file and nothing else — no training data,
     /// no re-solve. A bad artifact is a typed error, never a panic.
+    ///
+    /// The engine keeps the artifact's default thread sizing; use
+    /// [`ModelHandle::boot_with_threads`] to pin it.
     pub fn boot(path: &Path, stats: Arc<ServeStats>) -> Result<ModelHandle, ServeError> {
+        Self::boot_with_threads(path, stats, zsl_core::default_threads())
+    }
+
+    /// Boot like [`ModelHandle::boot`], but size the engine's kernel
+    /// parallelism to exactly `engine_threads` (clamped to at least 1).
+    /// Every later hot-swap re-applies the same sizing, so a reload can
+    /// never silently revert the daemon to oversubscribed defaults.
+    pub fn boot_with_threads(
+        path: &Path,
+        stats: Arc<ServeStats>,
+        engine_threads: usize,
+    ) -> Result<ModelHandle, ServeError> {
+        let engine_threads = engine_threads.max(1);
         let fingerprint = Fingerprint::probe(path)?;
-        let (engine, metadata) = ScoringEngine::load_with_metadata(path)?;
+        let (mut engine, metadata) = ScoringEngine::load_with_metadata(path)?;
+        engine.set_threads(engine_threads);
         let snapshot = Arc::new(ModelSnapshot {
             engine: Arc::new(engine),
             metadata,
@@ -77,7 +100,13 @@ impl ModelHandle {
             path: path.to_path_buf(),
             current: RwLock::new((snapshot, fingerprint)),
             stats,
+            engine_threads,
         })
+    }
+
+    /// Kernel thread count applied to every installed engine.
+    pub fn engine_threads(&self) -> usize {
+        self.engine_threads
     }
 
     /// Path of the artifact this handle watches.
@@ -106,7 +135,8 @@ impl ModelHandle {
             ServeError::Io(e)
         })?;
         match ScoringEngine::load_with_metadata(&self.path) {
-            Ok((engine, metadata)) => {
+            Ok((mut engine, metadata)) => {
+                engine.set_threads(self.engine_threads);
                 let mut slot = self.current.write().expect("model lock poisoned");
                 let generation = slot.0.generation + 1;
                 *slot = (
@@ -220,6 +250,22 @@ mod tests {
             .expect("save");
         assert_eq!(handle.poll().expect("poll"), Some(2));
         assert_eq!(handle.snapshot().metadata, "replacement");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pinned_engine_threads_survive_boot_and_reload() {
+        let path = temp_artifact("threads", 3);
+        let stats = Arc::new(ServeStats::new());
+        let handle = ModelHandle::boot_with_threads(&path, stats, 3).expect("boot");
+        assert_eq!(handle.engine_threads(), 3);
+        assert_eq!(handle.snapshot().engine.threads(), 3);
+        handle.reload().expect("reload");
+        assert_eq!(
+            handle.snapshot().engine.threads(),
+            3,
+            "hot swap must not revert the boot-time engine sizing"
+        );
         std::fs::remove_file(&path).ok();
     }
 

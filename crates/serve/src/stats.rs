@@ -28,6 +28,14 @@ pub struct ServeStats {
     reload_failures: AtomicU64,
     /// Requests rejected with a protocol error.
     rejected: AtomicU64,
+    /// Thread count the scoring engine was sized to at boot. A gauge, not a
+    /// counter: set once when the server starts so `/stats` shows how the
+    /// engine was sized (the fix for kernel threads oversubscribing CPU
+    /// cores under concurrent request threads).
+    engine_threads: AtomicU64,
+    /// Threads in the process-wide linalg worker pool (including the
+    /// submitting thread). Also a boot-time gauge.
+    pool_threads: AtomicU64,
 }
 
 /// One consistent-enough copy of the counters.
@@ -41,6 +49,8 @@ pub struct StatsSnapshot {
     pub reloads: u64,
     pub reload_failures: u64,
     pub rejected: u64,
+    pub engine_threads: u64,
+    pub pool_threads: u64,
 }
 
 impl ServeStats {
@@ -67,6 +77,15 @@ impl ServeStats {
         }
     }
 
+    /// Set the boot-time sizing gauges: the engine's kernel thread count and
+    /// the shared linalg pool width. Called once by [`crate::Server::start`].
+    pub fn set_thread_gauges(&self, engine_threads: usize, pool_threads: usize) {
+        self.engine_threads
+            .store(engine_threads as u64, Ordering::Relaxed);
+        self.pool_threads
+            .store(pool_threads as u64, Ordering::Relaxed);
+    }
+
     pub fn record_reload(&self, ok: bool) {
         if ok {
             self.reloads.fetch_add(1, Ordering::Relaxed);
@@ -85,6 +104,8 @@ impl ServeStats {
             reloads: self.reloads.load(Ordering::Relaxed),
             reload_failures: self.reload_failures.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            engine_threads: self.engine_threads.load(Ordering::Relaxed),
+            pool_threads: self.pool_threads.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,7 +115,7 @@ impl StatsSnapshot {
     pub fn render(&self) -> String {
         format!(
             "requests={}\nrows={}\nbatches={}\nmax_batch_rows={}\ncoalesced_batches={}\n\
-             reloads={}\nreload_failures={}\nrejected={}\n",
+             reloads={}\nreload_failures={}\nrejected={}\nengine_threads={}\npool_threads={}\n",
             self.requests,
             self.rows,
             self.batches,
@@ -102,7 +123,9 @@ impl StatsSnapshot {
             self.coalesced_batches,
             self.reloads,
             self.reload_failures,
-            self.rejected
+            self.rejected,
+            self.engine_threads,
+            self.pool_threads
         )
     }
 }
@@ -123,5 +146,17 @@ mod tests {
         assert_eq!(snap.max_batch_rows, 7);
         assert_eq!(snap.coalesced_batches, 2);
         assert!(snap.render().contains("max_batch_rows=7"));
+    }
+
+    #[test]
+    fn thread_gauges_are_set_once_and_rendered() {
+        let stats = ServeStats::new();
+        assert_eq!(stats.snapshot().engine_threads, 0);
+        stats.set_thread_gauges(3, 4);
+        let snap = stats.snapshot();
+        assert_eq!(snap.engine_threads, 3);
+        assert_eq!(snap.pool_threads, 4);
+        assert!(snap.render().contains("engine_threads=3"));
+        assert!(snap.render().contains("pool_threads=4"));
     }
 }
