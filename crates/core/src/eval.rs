@@ -41,6 +41,12 @@ use crate::infer::{harmonic_mean, mean_defined, ClassAccuracyCounter, ScoringEng
 use crate::model::EszslConfig;
 use crate::source::{DynSource, FeatureSource, SplitKind};
 use crate::trainer::{TrainedModel, Trainer};
+use std::sync::Arc;
+
+/// Salt XORed into the user seed for the calibrated sweep's *class* shuffle,
+/// so the pseudo-unseen rotation is independent of the sample-fold shuffle
+/// that shares the seed.
+const CALIBRATION_SHUFFLE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Generalized zero-shot evaluation result.
 ///
@@ -87,7 +93,10 @@ where
     S: FeatureSource + ?Sized,
     M: Clone + Into<TrainedModel>,
 {
-    let engine = ScoringEngine::new(model.clone(), source.union_signatures(), similarity);
+    // Fallible construction: this driver is reachable from artifact-loaded
+    // and daemon-adjacent paths, where a malformed bank must surface as a
+    // typed error rather than a panic.
+    let engine = ScoringEngine::try_new(model.clone(), source.union_signatures(), similarity)?;
     evaluate_gzsl_with(&engine, source)
 }
 
@@ -118,6 +127,17 @@ pub fn evaluate_gzsl_with<S: FeatureSource + ?Sized>(
              the engine must be built over the source's union signature bank",
             engine.num_classes()
         )));
+    }
+    // A calibrated engine penalizes its seen-class *prefix* at scoring time;
+    // that prefix must be exactly the source's seen block or the stacking
+    // penalty lands on the wrong classes in every report row.
+    if let Some((gamma_cal, seen)) = engine.seen_calibration() {
+        if seen != num_seen {
+            return Err(ZslError::Config(format!(
+                "engine's calibration (gamma_cal={gamma_cal}) penalizes a {seen}-class seen \
+                 prefix but the source has {num_seen} seen classes"
+            )));
+        }
     }
     let mut expected_bank = source.union_signatures();
     if engine.similarity() == Similarity::Cosine {
@@ -181,6 +201,20 @@ pub struct CrossValConfig {
     /// L2-normalize signature rows inside each fold's training problem
     /// (mirroring [`EszslConfig::normalize_signatures`]).
     pub normalize_signatures: bool,
+    /// Candidate calibrated-stacking penalties `γ_cal` (the seen-class score
+    /// penalty applied at scoring time; see
+    /// [`ScoringEngine::with_calibration`]).
+    ///
+    /// The default `[0.0]` keeps the sweep exactly what it always was — a
+    /// plain `(γ, λ)` accuracy sweep, bit-identical to every pre-calibration
+    /// release. Supplying any non-zero candidate switches the sweep to the
+    /// *pseudo-unseen* protocol: per fold, a seeded rotation holds out a
+    /// subset of seen **classes** (not just samples) from training, every
+    /// `(γ, λ)` model is scored at every `γ_cal` with the still-trained
+    /// classes penalized, and the fold metric becomes the harmonic mean of
+    /// pseudo-seen and pseudo-unseen per-class accuracy — the GZSL quantity
+    /// the calibration exists to improve.
+    pub calibrations: Vec<f64>,
 }
 
 impl Default for CrossValConfig {
@@ -196,6 +230,7 @@ impl Default for CrossValConfig {
             similarity: Similarity::Cosine,
             normalize_features: false,
             normalize_signatures: false,
+            calibrations: vec![0.0],
         }
     }
 }
@@ -248,6 +283,14 @@ impl CrossValConfig {
         self.normalize_signatures = on;
         self
     }
+
+    /// Set the `γ_cal` calibration candidates. `vec![0.0]` (the default)
+    /// disables the calibration axis entirely; see
+    /// [`CrossValConfig::calibrations`] for what a non-trivial grid changes.
+    pub fn calibrations(mut self, calibrations: Vec<f64>) -> Self {
+        self.calibrations = calibrations;
+        self
+    }
 }
 
 /// One `(γ, λ)` grid point's cross-validation outcome.
@@ -261,9 +304,13 @@ pub struct GridPoint {
     pub gamma: f64,
     /// Attribute-space regularizer.
     pub lambda: f64,
-    /// Validation mean per-class accuracy, averaged over folds.
+    /// Calibrated-stacking penalty `γ_cal` this point was scored at (0 when
+    /// the calibration axis is disabled).
+    pub calibration: f64,
+    /// Validation metric, averaged over folds: mean per-class accuracy on
+    /// the plain sweep, pseudo-GZSL harmonic mean on a calibrated sweep.
     pub mean_accuracy: f64,
-    /// Per-fold validation accuracies (length = fold count).
+    /// Per-fold validation metrics (length = fold count).
     pub fold_accuracies: Vec<f64>,
 }
 
@@ -327,13 +374,58 @@ pub fn cross_validate_with(
             trainer.describe()
         )));
     }
+    // `[0.0]` (the default) means "no calibration axis": the code below must
+    // then be — and is — the byte-for-byte pre-calibration sweep, so every
+    // existing report stays bit-identical.
+    let calibrated = config.calibrations.len() > 1 || config.calibrations[0] != 0.0;
+    let triples: Vec<(f64, f64, f64)> = points
+        .iter()
+        .flat_map(|&(g, l)| config.calibrations.iter().map(move |&c| (g, l, c)))
+        .collect();
 
     let signatures = source.seen_signatures().into_owned();
     let z = signatures.rows();
     let mut order: Vec<usize> = (0..n).collect();
     Rng::new(config.seed).shuffle(&mut order);
 
-    let mut fold_accuracies = vec![Vec::with_capacity(config.folds); points.len()];
+    // The calibrated sweep rotates pseudo-unseen CLASSES through the folds:
+    // a seeded shuffle (independent of the sample shuffle) assigns each seen
+    // class to the one fold where it plays "unseen" — dropped from training,
+    // unpenalized at scoring — while the remaining classes play "seen" and
+    // take the γ_cal penalty, miniaturizing the GZSL bias the calibration
+    // exists to correct. Sample labels are gathered once, in stream order,
+    // to exclude pseudo-unseen-labeled rows from each fold's training set.
+    let (class_fold, trainval_labels) = if calibrated {
+        if z < config.folds {
+            return Err(ZslError::Config(format!(
+                "calibrated cross-validation rotates pseudo-unseen classes through the folds \
+                 and needs at least as many seen classes as folds; got {z} classes for {} folds",
+                config.folds
+            )));
+        }
+        let mut class_order: Vec<usize> = (0..z).collect();
+        Rng::new(config.seed ^ CALIBRATION_SHUFFLE_SALT).shuffle(&mut class_order);
+        let mut class_fold = vec![0usize; z];
+        for (p, &c) in class_order.iter().enumerate() {
+            class_fold[c] = p % config.folds;
+        }
+        let mut labels = Vec::with_capacity(n);
+        for chunk in source.stream(SplitKind::Trainval)? {
+            let (_x, chunk_labels) = chunk?;
+            labels.extend_from_slice(&chunk_labels);
+        }
+        if labels.len() != n {
+            return Err(ZslError::Config(format!(
+                "source streamed {} trainval labels but reports trainval_len {n}",
+                labels.len()
+            )));
+        }
+        (class_fold, labels)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let mut fold_accuracies = vec![Vec::with_capacity(config.folds); triples.len()];
 
     for fold in 0..config.folds {
         // Contiguous slice of the shuffled order; balanced to within one
@@ -341,21 +433,39 @@ pub fn cross_validate_with(
         let lo = fold * n / config.folds;
         let hi = (fold + 1) * n / config.folds;
         let val_idx = &order[lo..hi];
-        let train_idx: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+        let train_idx: Vec<usize> = if calibrated {
+            order[..lo]
+                .iter()
+                .chain(&order[hi..])
+                .copied()
+                .filter(|&i| class_fold[trainval_labels[i]] != fold)
+                .collect()
+        } else {
+            order[..lo].iter().chain(&order[hi..]).copied().collect()
+        };
 
         // The trainer pays its sufficient statistics once per fold and solves
         // every grid point up front; the fold's validation rows then stream
-        // ONCE past all engines.
+        // ONCE past all engines — on a calibrated sweep, one engine per
+        // `(γ, λ) × γ_cal` sharing the fitted model.
         let models = trainer.fit_grid(source, &train_idx, &points)?;
-        let mut engines = Vec::with_capacity(points.len());
-        let mut counters = Vec::with_capacity(points.len());
+        let mask = calibrated.then(|| {
+            // Penalize the classes still trained on this fold (pseudo-seen).
+            Arc::new((0..z).map(|c| class_fold[c] != fold).collect::<Vec<bool>>())
+        });
+        let mut engines = Vec::with_capacity(triples.len());
+        let mut counters = Vec::with_capacity(triples.len());
         for model in models {
-            engines.push(ScoringEngine::new(
-                model,
-                signatures.clone(),
-                config.similarity,
-            ));
-            counters.push(ClassAccuracyCounter::new(z));
+            for &gamma_cal in &config.calibrations {
+                let engine =
+                    ScoringEngine::try_new(model.clone(), signatures.clone(), config.similarity)?;
+                let engine = match &mask {
+                    Some(mask) => engine.with_calibration_mask(gamma_cal, Arc::clone(mask)),
+                    None => engine,
+                };
+                engines.push(engine);
+                counters.push(ClassAccuracyCounter::new(z));
+            }
         }
         for chunk in source.stream_trainval_subset(val_idx)? {
             let (x, labels) = chunk?;
@@ -364,12 +474,31 @@ pub fn cross_validate_with(
             }
         }
         for (point, counter) in counters.iter().enumerate() {
-            fold_accuracies[point].push(counter.mean());
+            if calibrated {
+                // The fold metric mirrors the GZSL headline number: harmonic
+                // mean of pseudo-seen and pseudo-unseen per-class accuracy.
+                let per_class = counter.per_class();
+                let mut pseudo_seen = Vec::new();
+                let mut pseudo_unseen = Vec::new();
+                for (c, acc) in per_class.iter().enumerate() {
+                    if class_fold[c] == fold {
+                        pseudo_unseen.push(*acc);
+                    } else {
+                        pseudo_seen.push(*acc);
+                    }
+                }
+                fold_accuracies[point].push(harmonic_mean(
+                    mean_defined(&pseudo_seen),
+                    mean_defined(&pseudo_unseen),
+                ));
+            } else {
+                fold_accuracies[point].push(counter.mean());
+            }
         }
     }
 
     Ok(assemble_cross_val_report(
-        &points,
+        &triples,
         config.folds,
         fold_accuracies,
     ))
@@ -404,6 +533,20 @@ fn validate_cv_shape(config: &CrossValConfig, n: usize) -> Result<(), ZslError> 
             "gamma and lambda grids must be non-empty".into(),
         ));
     }
+    if config.calibrations.is_empty() {
+        return Err(ZslError::Config(
+            "calibration grid must be non-empty (use [0.0] to disable the axis)".into(),
+        ));
+    }
+    if let Some(&bad) = config
+        .calibrations
+        .iter()
+        .find(|c| !c.is_finite() || **c < 0.0)
+    {
+        return Err(ZslError::Config(format!(
+            "calibration penalties must be finite and >= 0, got {bad}"
+        )));
+    }
     Ok(())
 }
 
@@ -411,17 +554,18 @@ fn validate_cv_shape(config: &CrossValConfig, n: usize) -> Result<(), ZslError> 
 /// for every source kind keeps reports bit-identical (same summation order,
 /// same tie-break).
 fn assemble_cross_val_report(
-    points: &[(f64, f64)],
+    points: &[(f64, f64, f64)],
     fold_count: usize,
     mut fold_accuracies: Vec<Vec<f64>>,
 ) -> CrossValReport {
     let mut grid = Vec::with_capacity(fold_accuracies.len());
-    for (point, &(gamma, lambda)) in points.iter().enumerate() {
+    for (point, &(gamma, lambda, calibration)) in points.iter().enumerate() {
         let folds = std::mem::take(&mut fold_accuracies[point]);
         let mean_accuracy = folds.iter().sum::<f64>() / folds.len() as f64;
         grid.push(GridPoint {
             gamma,
             lambda,
+            calibration,
             mean_accuracy,
             fold_accuracies: folds,
         });
@@ -477,11 +621,15 @@ pub fn select_train_evaluate_with(
     config: &CrossValConfig,
 ) -> Result<(CrossValReport, GzslReport), ZslError> {
     let cv = cross_validate_with(trainer, source, config)?;
-    // The final fit applies the same normalization the sweep selected under.
+    // The final fit applies the same normalization the sweep selected under;
+    // the winning γ_cal (0 on an uncalibrated sweep, leaving the engine
+    // untouched) penalizes the union bank's seen prefix during evaluation.
     let model = trainer
         .with_point(cv.best.gamma, cv.best.lambda)
         .fit(source)?;
-    let report = evaluate_gzsl(&model, source, config.similarity)?;
+    let engine = ScoringEngine::try_new(model, source.union_signatures(), config.similarity)?
+        .with_calibration(cv.best.calibration, source.num_seen_classes())?;
+    let report = evaluate_gzsl_with(&engine, source)?;
     Ok((cv, report))
 }
 

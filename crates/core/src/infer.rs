@@ -10,12 +10,26 @@
 //! [`Classifier`] is a thin compatibility wrapper over the engine. Evaluation
 //! helpers cover the standard ZSL protocol (mean per-class accuracy) and the
 //! generalized protocol (harmonic mean of seen and unseen accuracy).
+//!
+//! For large class counts the bank can additionally be split into
+//! [`BankShards`] — contiguous row bands scored independently and folded
+//! through a per-row streaming merge, so `predict`/`predict_topk` never
+//! materialize a full `n x num_classes` score matrix — and borrowed zero-copy
+//! from an mmap'd `.zsm` artifact instead of the heap. Both modes are
+//! bit-identical to the monolithic heap engine (pinned by
+//! `tests/shard_equiv.rs`). Calibrated stacking (a seen-class score penalty
+//! `γ_cal`, the classic fix for GZSL seen-swamping) is applied at scoring
+//! time through the same paths.
 
 use crate::error::ZslError;
-use crate::linalg::{default_threads, Matrix, NORM_EPSILON};
+use crate::linalg::{default_threads, gemm_bt_parallel, Matrix, BLOCK, NORM_EPSILON};
+use crate::mmap::MappedFile;
 use crate::source::{FeatureSource, SplitKind};
 use crate::trainer::{KernelKind, TrainedModel};
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Rows per chunk used by [`ScoringEngine::predict`] and
 /// [`ScoringEngine::predict_topk`]: scores are reduced chunk-by-chunk, so
@@ -108,6 +122,177 @@ pub struct TopK {
     pub scores: Vec<f64>,
 }
 
+/// Layout of the signature bank as contiguous row bands ("shards") scored
+/// independently and merged per sample row.
+///
+/// Band boundaries are always multiples of the matmul kernel's 64-column
+/// cache tile: `gemm_bt`'s SIMD cascade (8-wide, 4-wide, scalar remainder)
+/// assigns kernels by a class's position *within* its 64-wide tile, so
+/// tile-aligned bands score every class through the same kernel with the same
+/// accumulation order as one monolithic pass. That makes sharded results
+/// bit-identical to the unsharded engine at every shard count — structurally,
+/// not within a tolerance. A requested count is therefore a *hint*: it is
+/// clamped to the number of 64-row tiles the bank actually has.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BankShards {
+    /// Exclusive end row of each band, ascending; the last entry is the class
+    /// count. Band `i` covers `ends[i-1]..ends[i]` (band 0 starts at row 0).
+    ends: Vec<usize>,
+}
+
+impl BankShards {
+    /// Split `num_classes` bank rows into (at most) `requested` bands of
+    /// near-equal tile counts. `requested` is clamped to `[1, ceil(z / 64)]`;
+    /// every boundary except the last is a multiple of 64.
+    pub fn uniform(num_classes: usize, requested: usize) -> Self {
+        let tiles = num_classes.div_ceil(BLOCK).max(1);
+        let bands = requested.clamp(1, tiles);
+        let mut ends = Vec::with_capacity(bands);
+        for b in 1..=bands {
+            ends.push((b * tiles / bands * BLOCK).min(num_classes));
+        }
+        BankShards { ends }
+    }
+
+    /// Number of bands.
+    pub fn count(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Global class-row range of band `i`.
+    pub fn band(&self, i: usize) -> Range<usize> {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        start..self.ends[i]
+    }
+
+    /// Widest band, in classes — the per-chunk score-block width bound.
+    pub fn max_band_classes(&self) -> usize {
+        (0..self.count())
+            .map(|i| self.band(i).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The engine's cached signature bank: either owned rows on the heap or rows
+/// borrowed zero-copy from a memory-mapped `.zsm` artifact.
+#[derive(Clone, Debug)]
+enum Bank {
+    /// Heap-owned `num_classes x attr_dim` rows — the default.
+    Owned(Matrix),
+    /// Rows borrowed from a mapped artifact: `offset` bytes into the mapping,
+    /// `rows x cols` little-endian `f64`s. The loader guarantees the region
+    /// is in-bounds and 8-byte aligned (64-byte-aligned payload in a
+    /// page-aligned mapping) before constructing this variant.
+    Mapped {
+        map: Arc<MappedFile>,
+        offset: usize,
+        rows: usize,
+        cols: usize,
+    },
+}
+
+impl Bank {
+    fn rows(&self) -> usize {
+        match self {
+            Bank::Owned(m) => m.rows(),
+            Bank::Mapped { rows, .. } => *rows,
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match self {
+            Bank::Owned(m) => m.cols(),
+            Bank::Mapped { cols, .. } => *cols,
+        }
+    }
+
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Bank::Owned(m) => m.as_slice(),
+            Bank::Mapped {
+                map,
+                offset,
+                rows,
+                cols,
+            } => {
+                let bytes = &map.as_bytes()[*offset..*offset + rows * cols * 8];
+                // Safety: the loader verified bounds and 8-byte alignment at
+                // construction, the mapping is immutable and lives as long as
+                // the `Arc`, and the target is little-endian (gated by the
+                // loader), so these bytes *are* the bank's f64 rows.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, rows * cols) }
+            }
+        }
+    }
+
+    /// Heap bytes this bank keeps resident (0 when mapped).
+    fn resident_bytes(&self) -> usize {
+        match self {
+            Bank::Owned(m) => std::mem::size_of_val(m.as_slice()),
+            Bank::Mapped { .. } => 0,
+        }
+    }
+}
+
+/// Borrowed, read-only view of an engine's cached signature bank, uniform
+/// over heap-owned and mmap-borrowed storage. Replaces the old `&Matrix`
+/// accessor so callers never assume the bank lives on the heap.
+#[derive(Clone, Copy, Debug)]
+pub struct BankView<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> BankView<'a> {
+    /// Number of classes (bank rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Attribute dimension (bank columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The full bank as one row-major slice.
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Row `r` as a contiguous slice.
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy the viewed rows into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.to_vec())
+    }
+}
+
+/// Which classes a calibration penalty applies to.
+#[derive(Clone, Debug)]
+enum Penalized {
+    /// The first `n` bank rows — the seen-class prefix of a GZSL union bank.
+    /// This is the persistable form (`.zsm` calibration block).
+    Prefix(usize),
+    /// Arbitrary class subset — used internally by cross-validation, where
+    /// each fold penalizes its pseudo-seen classes. Never persisted.
+    Mask(Arc<Vec<bool>>),
+}
+
+/// Calibrated stacking: subtract `gamma` from every penalized class's score
+/// at scoring time. With a union bank ordered seen-then-unseen, penalizing
+/// the seen prefix counteracts the seen-class swamping that collapses GZSL
+/// unseen accuracy at large class counts.
+#[derive(Clone, Debug)]
+struct Calibration {
+    gamma: f64,
+    penalized: Penalized,
+}
+
 /// Cached, parallel batch scorer: the hot path of the serving stack.
 ///
 /// Construction validates the signature bank (non-empty, non-zero-width, all
@@ -125,8 +310,14 @@ pub struct ScoringEngine {
     /// converts in as ESZSL, so pre-trainer call sites keep compiling.
     model: TrainedModel,
     /// `num_classes x attr_dim`, one row per candidate class; pre-normalized
-    /// when the similarity is cosine.
-    signatures: Matrix,
+    /// when the similarity is cosine. Heap-owned or mmap-borrowed.
+    bank: Bank,
+    /// Row-band layout of the bank; a single band reproduces the legacy
+    /// monolithic scoring path verbatim.
+    shards: BankShards,
+    /// Optional seen-class score penalty (calibrated stacking); `None` means
+    /// scoring is exactly the uncalibrated pipeline, bit-for-bit.
+    calibration: Option<Calibration>,
     similarity: Similarity,
     threads: usize,
     precision: ScoringPrecision,
@@ -164,10 +355,14 @@ enum F32Model {
 }
 
 fn cast_f32(m: &Matrix) -> Vec<f32> {
-    m.as_slice().iter().map(|&v| v as f32).collect()
+    cast_f32_slice(m.as_slice())
 }
 
-fn build_f32_parts(model: &TrainedModel, signatures: &Matrix) -> F32Parts {
+fn cast_f32_slice(data: &[f64]) -> Vec<f32> {
+    data.iter().map(|&v| v as f32).collect()
+}
+
+fn build_f32_parts(model: &TrainedModel, bank: &[f64]) -> F32Parts {
     let model32 = match model {
         TrainedModel::Eszsl(p) | TrainedModel::Sae(p) => F32Model::Projection {
             w: cast_f32(p.weights()),
@@ -185,7 +380,7 @@ fn build_f32_parts(model: &TrainedModel, signatures: &Matrix) -> F32Parts {
     };
     F32Parts {
         model: model32,
-        bank: cast_f32(signatures),
+        bank: cast_f32_slice(bank),
     }
 }
 
@@ -205,6 +400,12 @@ impl ScoringEngine {
 
     /// [`ScoringEngine::new`] with an explicit worker-thread count
     /// (`0` is treated as `1`).
+    ///
+    /// Like [`ScoringEngine::new`], this is the *convenience* constructor for
+    /// trusted, in-process data and deliberately panics on invalid parts;
+    /// every serve/load-reachable path (artifact loaders, the evaluation and
+    /// cross-validation drivers, `Pipeline::train`) goes through
+    /// [`ScoringEngine::try_with_threads`] instead.
     pub fn with_threads(
         model: impl Into<TrainedModel>,
         signatures: Matrix,
@@ -242,13 +443,22 @@ impl ScoringEngine {
         threads: usize,
     ) -> Result<Self, ZslError> {
         let model = model.into();
-        check_engine_parts(&model, &signatures).map_err(ZslError::Config)?;
+        check_engine_parts(
+            &model,
+            signatures.rows(),
+            signatures.cols(),
+            signatures.as_slice(),
+        )
+        .map_err(ZslError::Config)?;
         if similarity == Similarity::Cosine {
             signatures.l2_normalize_rows();
         }
+        let shards = BankShards::uniform(signatures.rows(), 1);
         Ok(ScoringEngine {
             model,
-            signatures,
+            bank: Bank::Owned(signatures),
+            shards,
+            calibration: None,
             similarity,
             threads: threads.max(1),
             precision: ScoringPrecision::F64,
@@ -276,10 +486,51 @@ impl ScoringEngine {
         similarity: Similarity,
         threads: usize,
     ) -> Result<Self, String> {
-        check_engine_parts(&model, &signatures)?;
+        check_engine_parts(
+            &model,
+            signatures.rows(),
+            signatures.cols(),
+            signatures.as_slice(),
+        )?;
+        let shards = BankShards::uniform(signatures.rows(), 1);
         Ok(ScoringEngine {
             model,
-            signatures,
+            bank: Bank::Owned(signatures),
+            shards,
+            calibration: None,
+            similarity,
+            threads: threads.max(1),
+            precision: ScoringPrecision::F64,
+            f32_parts: None,
+        })
+    }
+
+    /// [`ScoringEngine::from_cached_parts`] with the bank *borrowed* from a
+    /// mapped `.zsm` artifact instead of heap-copied — the zero-copy boot
+    /// path. Same validation and no-renormalization contract; the caller (the
+    /// artifact loader) guarantees the `offset..offset + rows*cols*8` region
+    /// is in-bounds, 8-byte aligned, and little-endian `f64` data.
+    pub(crate) fn from_mapped_parts(
+        model: TrainedModel,
+        map: Arc<MappedFile>,
+        offset: usize,
+        rows: usize,
+        cols: usize,
+        similarity: Similarity,
+        threads: usize,
+    ) -> Result<Self, String> {
+        let bank = Bank::Mapped {
+            map,
+            offset,
+            rows,
+            cols,
+        };
+        check_engine_parts(&model, rows, cols, bank.as_slice())?;
+        Ok(ScoringEngine {
+            model,
+            shards: BankShards::uniform(rows, 1),
+            bank,
+            calibration: None,
             similarity,
             threads: threads.max(1),
             precision: ScoringPrecision::F64,
@@ -295,9 +546,146 @@ impl ScoringEngine {
         self.precision = precision;
         self.f32_parts = match precision {
             ScoringPrecision::F64 => None,
-            ScoringPrecision::F32 => Some(build_f32_parts(&self.model, &self.signatures)),
+            ScoringPrecision::F32 => Some(build_f32_parts(&self.model, self.bank.as_slice())),
         };
         self
+    }
+
+    /// Split the cached bank into (at most) `shards` row bands scored
+    /// independently and merged per row — see [`BankShards`]. Results are
+    /// bit-identical at every shard count; what changes is peak memory:
+    /// `predict`/`predict_topk` hold one `chunk_rows x band_classes` score
+    /// block at a time instead of `chunk_rows x num_classes`.
+    pub fn with_bank_shards(mut self, shards: usize) -> Self {
+        self.set_bank_shards(shards);
+        self
+    }
+
+    /// In-place form of [`ScoringEngine::with_bank_shards`] for serving
+    /// stacks that reconfigure a booted engine.
+    pub fn set_bank_shards(&mut self, shards: usize) {
+        self.shards = BankShards::uniform(self.bank.rows(), shards);
+    }
+
+    /// The bank's current shard layout.
+    pub fn bank_shards(&self) -> &BankShards {
+        &self.shards
+    }
+
+    /// Heap bytes resident for the signature bank (the `f64` rows plus the
+    /// `f32` mirror when reduced-precision scoring is on). `0` + mirror for
+    /// an mmap-borrowed bank — the gauge a serving box watches to confirm
+    /// zero-copy boot took effect.
+    pub fn bank_resident_bytes(&self) -> usize {
+        let mirror = self
+            .f32_parts
+            .as_ref()
+            .map_or(0, |p| p.bank.len() * std::mem::size_of::<f32>());
+        self.bank.resident_bytes() + mirror
+    }
+
+    /// Whether the bank is borrowed from a memory-mapped artifact.
+    pub fn is_bank_mapped(&self) -> bool {
+        matches!(self.bank, Bank::Mapped { .. })
+    }
+
+    /// Enable calibrated stacking: subtract `gamma_cal` from the scores of
+    /// the first `seen_classes` bank rows (the seen prefix of a GZSL union
+    /// bank) at scoring time. `gamma_cal = 0` clears calibration and restores
+    /// the uncalibrated pipeline bit-for-bit. Rejects non-finite or negative
+    /// `gamma_cal` and a prefix longer than the bank.
+    pub fn with_calibration(
+        mut self,
+        gamma_cal: f64,
+        seen_classes: usize,
+    ) -> Result<Self, ZslError> {
+        if !gamma_cal.is_finite() || gamma_cal < 0.0 {
+            return Err(ZslError::Config(format!(
+                "calibration penalty gamma_cal must be finite and >= 0, got {gamma_cal}"
+            )));
+        }
+        if seen_classes > self.num_classes() {
+            return Err(ZslError::Config(format!(
+                "calibration seen-class prefix {seen_classes} exceeds the bank's {} classes",
+                self.num_classes()
+            )));
+        }
+        self.calibration = (gamma_cal > 0.0).then_some(Calibration {
+            gamma: gamma_cal,
+            penalized: Penalized::Prefix(seen_classes),
+        });
+        Ok(self)
+    }
+
+    /// Cross-validation-internal calibration over an arbitrary class mask
+    /// (`true` = penalized). Never persisted; `gamma_cal = 0` clears.
+    pub(crate) fn with_calibration_mask(mut self, gamma_cal: f64, mask: Arc<Vec<bool>>) -> Self {
+        debug_assert_eq!(mask.len(), self.num_classes());
+        self.calibration = (gamma_cal > 0.0).then_some(Calibration {
+            gamma: gamma_cal,
+            penalized: Penalized::Mask(mask),
+        });
+        self
+    }
+
+    /// The persistable seen-prefix calibration `(gamma_cal, seen_classes)`,
+    /// if any. CV-internal mask calibrations (never persisted) return `None`.
+    pub fn seen_calibration(&self) -> Option<(f64, usize)> {
+        match &self.calibration {
+            Some(Calibration {
+                gamma,
+                penalized: Penalized::Prefix(seen),
+            }) => Some((*gamma, *seen)),
+            _ => None,
+        }
+    }
+
+    /// The active calibration penalty, `0.0` when uncalibrated.
+    pub fn gamma_cal(&self) -> f64 {
+        self.calibration.as_ref().map_or(0.0, |c| c.gamma)
+    }
+
+    /// Whether the engine carries a CV-internal mask calibration, which the
+    /// artifact writer must refuse to persist.
+    pub(crate) fn has_mask_calibration(&self) -> bool {
+        matches!(
+            self.calibration,
+            Some(Calibration {
+                penalized: Penalized::Mask(_),
+                ..
+            })
+        )
+    }
+
+    /// Subtract the calibration penalty from a `rows x (hi - lo)` score block
+    /// covering global classes `lo..hi`. No-op when uncalibrated, so the
+    /// `gamma_cal = 0` pipeline performs zero extra float operations.
+    fn apply_calibration(&self, block: &mut [f64], lo: usize, hi: usize) {
+        let Some(cal) = &self.calibration else {
+            return;
+        };
+        let width = hi - lo;
+        match &cal.penalized {
+            Penalized::Prefix(seen) => {
+                let end = (*seen).min(hi);
+                if end > lo {
+                    for row in block.chunks_mut(width) {
+                        for v in &mut row[..end - lo] {
+                            *v -= cal.gamma;
+                        }
+                    }
+                }
+            }
+            Penalized::Mask(mask) => {
+                for row in block.chunks_mut(width) {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        if mask[lo + j] {
+                            *v -= cal.gamma;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// The precision scores are computed in.
@@ -315,7 +703,7 @@ impl ScoringEngine {
 
     /// Number of candidate classes.
     pub fn num_classes(&self) -> usize {
-        self.signatures.rows()
+        self.bank.rows()
     }
 
     /// The underlying trained model (any family).
@@ -329,9 +717,14 @@ impl ScoringEngine {
     }
 
     /// The cached signature bank (L2-normalized when the similarity is
-    /// cosine).
-    pub fn signatures(&self) -> &Matrix {
-        &self.signatures
+    /// cosine), as a storage-agnostic view: the rows may live on the heap or
+    /// be borrowed from a memory-mapped artifact.
+    pub fn signatures(&self) -> BankView<'_> {
+        BankView {
+            data: self.bank.as_slice(),
+            rows: self.bank.rows(),
+            cols: self.bank.cols(),
+        }
     }
 
     /// The configured similarity.
@@ -344,27 +737,44 @@ impl ScoringEngine {
         self.threads
     }
 
-    /// Full score matrix: `n_samples x num_classes`.
+    /// Full score matrix: `n_samples x num_classes`, including any active
+    /// calibration penalty. Callers who ask for the full matrix get it
+    /// monolithically regardless of the shard layout (sharding changes peak
+    /// memory in the streaming reducers, never the bits).
     pub fn scores(&self, x: &Matrix) -> Matrix {
-        if let Some(parts) = &self.f32_parts {
-            return self.scores_f32(parts, x);
-        }
-        let mut projected = self.model.project_parallel(x, self.threads);
-        if self.similarity == Similarity::Cosine {
-            projected.l2_normalize_rows();
-        }
-        projected.matmul_bt_parallel(&self.signatures, self.threads)
+        let mut scores = if let Some(parts) = &self.f32_parts {
+            self.scores_f32(parts, x)
+        } else {
+            let mut projected = self.model.project_parallel(x, self.threads);
+            if self.similarity == Similarity::Cosine {
+                projected.l2_normalize_rows();
+            }
+            let (n, a_dim) = (projected.rows(), projected.cols());
+            let z = self.bank.rows();
+            Matrix::from_vec(
+                n,
+                z,
+                gemm_bt_parallel(
+                    projected.as_slice(),
+                    n,
+                    a_dim,
+                    self.bank.as_slice(),
+                    z,
+                    self.threads,
+                ),
+            )
+        };
+        let z = self.num_classes();
+        self.apply_calibration(scores.as_mut_slice(), 0, z);
+        scores
     }
 
-    /// The single-precision scoring path: cast the batch once, run the same
-    /// project → normalize → `X·Sᵀ` pipeline through the generic `f32`
-    /// kernels, and widen the scores back to `f64` (lossless), so every
-    /// downstream consumer (`predict`, `predict_topk`, chunking) is shared
-    /// verbatim with the `f64` path.
-    fn scores_f32(&self, parts: &F32Parts, x: &Matrix) -> Matrix {
-        use crate::linalg::{
-            gemm_bt_parallel, gemm_parallel, l2_normalize_rows_slab, rbf_gram_parallel,
-        };
+    /// The single-precision projection front half: cast the batch once, run
+    /// project → normalize through the generic `f32` kernels. Shared by the
+    /// monolithic [`ScoringEngine::scores`] path and the banded streaming
+    /// reducers, so both score the identical normalized `f32` slab.
+    fn project_f32(&self, parts: &F32Parts, x: &Matrix) -> Vec<f32> {
+        use crate::linalg::{gemm_parallel, l2_normalize_rows_slab, rbf_gram_parallel};
         let n = x.rows();
         let d_in = self.model.feature_dim();
         assert_eq!(
@@ -395,11 +805,21 @@ impl ScoringEngine {
                 gemm_parallel(&phi, n, *k, alpha, *a, self.threads)
             }
         };
-        let a_dim = self.signatures.cols();
         if self.similarity == Similarity::Cosine {
-            l2_normalize_rows_slab(&mut proj, a_dim);
+            l2_normalize_rows_slab(&mut proj, self.bank.cols());
         }
-        let z = self.signatures.rows();
+        proj
+    }
+
+    /// The single-precision scoring path: project via [`Self::project_f32`],
+    /// score against the cached `f32` bank mirror, and widen the scores back
+    /// to `f64` (lossless), so every downstream consumer (`predict`,
+    /// `predict_topk`, chunking) is shared verbatim with the `f64` path.
+    fn scores_f32(&self, parts: &F32Parts, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let proj = self.project_f32(parts, x);
+        let a_dim = self.bank.cols();
+        let z = self.bank.rows();
         let scores32 = gemm_bt_parallel(&proj, n, a_dim, &parts.bank, z, self.threads);
         Matrix::from_vec(n, z, scores32.into_iter().map(f64::from).collect())
     }
@@ -432,6 +852,95 @@ impl ScoringEngine {
         }
     }
 
+    /// Stream `x` in row chunks and, per chunk, score one bank band at a
+    /// time: project the chunk once, then for each shard band run the same
+    /// `X·Sᵀ` kernel over that band's rows, apply calibration, and hand the
+    /// `rows x band_classes` block to `band`. `init` builds per-chunk merge
+    /// state, `done` consumes it after the last band. Peak score memory is
+    /// one band-wide block — never `rows x num_classes`.
+    ///
+    /// Because band boundaries are multiples of the kernel's 64-column tile
+    /// (see [`BankShards`]), every score element carries the *same bits* as
+    /// the monolithic pass, so any order-respecting merge is bit-identical to
+    /// reducing the full row.
+    fn fold_banded_chunks<S, I, F, D>(
+        &self,
+        x: &Matrix,
+        chunk_rows: usize,
+        init: I,
+        mut band: F,
+        mut done: D,
+    ) where
+        I: Fn(usize) -> S,
+        F: FnMut(&mut S, Range<usize>, &[f64]),
+        D: FnMut(S),
+    {
+        let n = x.rows();
+        let chunk_rows = chunk_rows.max(1);
+        let a_dim = self.bank.cols();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk_rows).min(n);
+            let rows = end - start;
+            let slab;
+            let chunk: &Matrix = if rows == n {
+                x
+            } else {
+                slab = x.row_block(start..end);
+                &slab
+            };
+            let mut state = init(rows);
+            match &self.f32_parts {
+                None => {
+                    let mut projected = self.model.project_parallel(chunk, self.threads);
+                    if self.similarity == Similarity::Cosine {
+                        projected.l2_normalize_rows();
+                    }
+                    let bank = self.bank.as_slice();
+                    for b in 0..self.shards.count() {
+                        let r = self.shards.band(b);
+                        let mut block = gemm_bt_parallel(
+                            projected.as_slice(),
+                            rows,
+                            a_dim,
+                            &bank[r.start * a_dim..r.end * a_dim],
+                            r.len(),
+                            self.threads,
+                        );
+                        self.apply_calibration(&mut block, r.start, r.end);
+                        band(&mut state, r.clone(), &block);
+                    }
+                }
+                Some(parts) => {
+                    let proj = self.project_f32(parts, chunk);
+                    for b in 0..self.shards.count() {
+                        let r = self.shards.band(b);
+                        let block32 = gemm_bt_parallel(
+                            &proj,
+                            rows,
+                            a_dim,
+                            &parts.bank[r.start * a_dim..r.end * a_dim],
+                            r.len(),
+                            self.threads,
+                        );
+                        let mut block: Vec<f64> = block32.into_iter().map(f64::from).collect();
+                        self.apply_calibration(&mut block, r.start, r.end);
+                        band(&mut state, r.clone(), &block);
+                    }
+                }
+            }
+            done(state);
+            start = end;
+        }
+    }
+
+    /// Whether predictions should stream band-by-band instead of taking the
+    /// legacy whole-row path. A single band *is* the legacy layout, so the
+    /// monolithic code path survives verbatim for existing engines.
+    fn banded(&self) -> bool {
+        self.shards.count() > 1
+    }
+
     /// Argmax prediction per sample, computed chunk-by-chunk.
     ///
     /// Selection uses [`f64::total_cmp`], a total order, so results are
@@ -443,11 +952,39 @@ impl ScoringEngine {
     /// check [`ScoringEngine::scores`] for non-finite values rather than rely
     /// on predictions alone.
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        if self.banded() {
+            return self.predict_banded(x);
+        }
         let z = self.num_classes();
         let mut out = Vec::with_capacity(x.rows());
         self.scores_chunked(x, DEFAULT_CHUNK_ROWS, |_, scores| {
             out.extend(scores.as_slice().chunks(z).map(argmax));
         });
+        out
+    }
+
+    /// Sharded argmax: fold each band's per-row argmax into a running best
+    /// with a strictly-greater `total_cmp` test. Bands ascend and the in-band
+    /// argmax is first-wins, so the global first-wins tie-break of the
+    /// monolithic [`argmax`] is preserved exactly.
+    fn predict_banded(&self, x: &Matrix) -> Vec<usize> {
+        let mut out = Vec::with_capacity(x.rows());
+        self.fold_banded_chunks(
+            x,
+            DEFAULT_CHUNK_ROWS,
+            |rows| vec![(0usize, 0.0f64); rows],
+            |best: &mut Vec<(usize, f64)>, r, block| {
+                let width = r.len();
+                for (row_best, row) in best.iter_mut().zip(block.chunks(width)) {
+                    let local = argmax(row);
+                    let cand = (r.start + local, row[local]);
+                    if r.start == 0 || cand.1.total_cmp(&row_best.1) == Ordering::Greater {
+                        *row_best = cand;
+                    }
+                }
+            },
+            |best| out.extend(best.into_iter().map(|(class, _)| class)),
+        );
         out
     }
 
@@ -499,11 +1036,92 @@ impl ScoringEngine {
     pub fn predict_topk(&self, x: &Matrix, k: usize) -> Vec<TopK> {
         let z = self.num_classes();
         let k = k.min(z);
+        if self.banded() {
+            return self.predict_topk_banded(x, k);
+        }
         let mut out = Vec::with_capacity(x.rows());
         self.scores_chunked(x, DEFAULT_CHUNK_ROWS, |_, scores| {
             out.extend(scores.as_slice().chunks(z).map(|row| topk_row(row, k)));
         });
         out
+    }
+
+    /// Sharded top-`k`: each row streams its band scores through a bounded
+    /// worst-first k-heap ordered by the same total order as [`topk_row`]
+    /// (descending score, ties by ascending global class id), so the merged
+    /// result is identical to sorting the full row — without ever holding
+    /// more than one band of scores plus `k` candidates per row.
+    fn predict_topk_banded(&self, x: &Matrix, k: usize) -> Vec<TopK> {
+        let mut out = Vec::with_capacity(x.rows());
+        self.fold_banded_chunks(
+            x,
+            DEFAULT_CHUNK_ROWS,
+            |rows| vec![BinaryHeap::<Reverse<Cand>>::with_capacity(k + 1); rows],
+            |heaps: &mut Vec<BinaryHeap<Reverse<Cand>>>, r, block| {
+                if k == 0 {
+                    return;
+                }
+                let width = r.len();
+                for (heap, row) in heaps.iter_mut().zip(block.chunks(width)) {
+                    for (j, &score) in row.iter().enumerate() {
+                        let cand = Cand {
+                            score,
+                            class: r.start + j,
+                        };
+                        if heap.len() < k {
+                            heap.push(Reverse(cand));
+                        } else if cand > heap.peek().expect("k > 0").0 {
+                            heap.pop();
+                            heap.push(Reverse(cand));
+                        }
+                    }
+                }
+            },
+            |heaps| {
+                out.extend(heaps.into_iter().map(|heap| {
+                    let mut ranked: Vec<Cand> =
+                        heap.into_iter().map(|Reverse(cand)| cand).collect();
+                    ranked.sort_unstable_by(|a, b| b.cmp(a));
+                    TopK {
+                        classes: ranked.iter().map(|c| c.class).collect(),
+                        scores: ranked.iter().map(|c| c.score).collect(),
+                    }
+                }));
+            },
+        );
+        out
+    }
+}
+
+/// One streaming top-k candidate. The ordering is "better = greater": higher
+/// score first, ties broken by *lower* class id — the exact total order
+/// [`topk_row`]'s comparator induces, so heap merges and full sorts agree on
+/// every tie, including ties that straddle shard boundaries.
+#[derive(Clone, Copy, Debug)]
+struct Cand {
+    score: f64,
+    class: usize,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Cand {}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.class.cmp(&self.class))
     }
 }
 
@@ -580,19 +1198,25 @@ impl Classifier {
 /// ([`ScoringEngine::new`], [`Classifier::new`]) turn the message into a
 /// panic; the fallible ones ([`ScoringEngine::try_new`], the `.zsm` loader)
 /// turn it into a typed error.
-fn check_engine_parts(model: &TrainedModel, signatures: &Matrix) -> Result<(), String> {
-    if signatures.rows() == 0 {
+fn check_engine_parts(
+    model: &TrainedModel,
+    rows: usize,
+    cols: usize,
+    data: &[f64],
+) -> Result<(), String> {
+    if rows == 0 {
         return Err("classifier needs at least one class signature".into());
     }
-    if signatures.cols() == 0 {
+    if cols == 0 {
         return Err(
             "classifier signature bank is zero-width (attr_dim = 0); every class needs at least \
              one attribute"
                 .into(),
         );
     }
-    for r in 0..signatures.rows() {
-        for (c, &v) in signatures.row(r).iter().enumerate() {
+    debug_assert_eq!(data.len(), rows * cols);
+    for (r, row) in data.chunks(cols).enumerate() {
+        for (c, &v) in row.iter().enumerate() {
             if !v.is_finite() {
                 return Err(format!(
                     "signature bank contains non-finite value {v} at row {r}, col {c}; clean the \
@@ -601,11 +1225,11 @@ fn check_engine_parts(model: &TrainedModel, signatures: &Matrix) -> Result<(), S
             }
         }
     }
-    if model.attr_dim() != signatures.cols() {
+    if model.attr_dim() != cols {
         return Err(format!(
             "model attribute dim {} != signature dim {}",
             model.attr_dim(),
-            signatures.cols()
+            cols
         ));
     }
     if !model.is_finite() {

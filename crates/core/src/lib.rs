@@ -98,6 +98,7 @@ mod error;
 pub mod eval;
 pub mod infer;
 pub mod linalg;
+mod mmap;
 pub mod model;
 pub mod pipeline;
 pub mod source;
@@ -115,8 +116,8 @@ pub use eval::{
     select_train_evaluate_with, CrossValConfig, CrossValReport, GridPoint, GzslReport,
 };
 pub use infer::{
-    harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy,
-    ClassAccuracyCounter, Classifier, ScoringEngine, ScoringPrecision, Similarity, TopK,
+    harmonic_mean, mean_per_class_accuracy, overall_accuracy, per_class_accuracy, BankShards,
+    BankView, ClassAccuracyCounter, Classifier, ScoringEngine, ScoringPrecision, Similarity, TopK,
 };
 pub use linalg::{
     default_threads, pool_threads, solve_spd, solve_sylvester, Cholesky, LinalgError, Matrix,

@@ -14,7 +14,14 @@ pub const NORM_EPSILON: f64 = 1e-12;
 
 /// Cache-blocking tile edge for [`Matrix::matmul`]. 64 doubles = 512 bytes per
 /// row segment, so an A-tile, B-tile, and C-tile together stay well inside L1/L2.
-const BLOCK: usize = 64;
+///
+/// Exposed crate-wide because `gemm_bt_into`'s kernel cascade (8-wide, 4-wide,
+/// scalar remainder) is phased on `BLOCK`-element column tiles: a signature
+/// bank split at multiples of `BLOCK` rows scores each class through the
+/// *same* kernel with the *same* accumulation order as the monolithic pass,
+/// which is what makes [`crate::infer::BankShards`] bit-identical by
+/// construction instead of by tolerance.
+pub(crate) const BLOCK: usize = 64;
 
 /// Below this many multiply-adds the parallel entry points run the serial
 /// kernel instead: even with the persistent pool, waking workers and taking
@@ -738,6 +745,11 @@ impl Matrix {
     /// Immutable view of the underlying row-major buffer.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Element at `(r, c)`. Panics on out-of-range indices.

@@ -1,0 +1,183 @@
+//! Read-only memory mapping for zero-copy `.zsm` boot, std-only.
+//!
+//! The serving motivation (ZSpeedL, PAPERS.md) is booting a large-class-count
+//! engine with minimal resident memory: the signature bank dominates a `.zsm`
+//! artifact, and copying it to the heap doubles boot memory exactly when the
+//! class axis is largest. [`MappedFile`] maps the artifact read-only via raw
+//! `mmap(2)` FFI (no external crates — the workspace is dependency-free), and
+//! the loader in [`crate::artifact`] lets a [`crate::infer::ScoringEngine`]
+//! borrow its bank rows straight out of the page cache.
+//!
+//! On non-Unix targets [`MappedFile::map`] simply returns `None`, and every
+//! caller falls back to the heap loader — mapping is an opt-in optimization,
+//! never a portability requirement. Byte order is the *caller's* problem: the
+//! `.zsm` payload is little-endian `f64`s, so the artifact loader only
+//! borrows mapped bytes on little-endian targets.
+
+use std::fs::File;
+
+#[cfg(unix)]
+mod sys {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    // Raw mmap(2)/munmap(2) bindings — the only FFI in the workspace. The
+    // constant values below are shared by every Unix the toolchain targets
+    // (Linux, macOS, the BSDs) for this read-only/private use.
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// A whole-file read-only private mapping. The mapping outlives the
+    /// `File` handle it was created from (POSIX keeps pages valid after the
+    /// descriptor closes), and the atomic-rename save discipline in
+    /// [`crate::artifact`] means a mapped inode is replaced, never truncated
+    /// in place — so the borrowed pages stay valid for the mapping's
+    /// lifetime.
+    pub(super) struct Map {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // A read-only mapping is plain immutable memory: sharing it across
+    // threads is no different from sharing a `&[u8]`.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub(super) fn open(file: &File, len: usize) -> Option<Map> {
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr.is_null() || ptr as isize == -1 {
+                return None;
+            }
+            Some(Map {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub(super) fn as_bytes(&self) -> &[u8] {
+            // Safety: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, held until `Drop`.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // Safety: `ptr`/`len` are the exact values returned by `mmap`.
+            unsafe {
+                munmap(self.ptr as *mut core::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::fs::File;
+
+    /// Uninhabited on non-Unix targets: [`Map::map`] always declines, so no
+    /// value of this type ever exists and `as_bytes` is statically
+    /// unreachable. Keeping the type (rather than `cfg`-ing out every caller)
+    /// lets the engine's bank enum compile identically on every platform.
+    pub(super) enum Map {}
+
+    impl Map {
+        pub(super) fn open(_file: &File, _len: usize) -> Option<Map> {
+            None
+        }
+
+        pub(super) fn as_bytes(&self) -> &[u8] {
+            match *self {}
+        }
+    }
+}
+
+/// A read-only memory-mapped file, usable as `&[u8]` for its whole lifetime.
+///
+/// `map` returns `None` whenever mapping is unavailable (non-Unix target,
+/// empty file, or the syscall failing) — callers treat `None` as "use the
+/// heap path", never as an error.
+pub(crate) struct MappedFile {
+    inner: sys::Map,
+}
+
+impl MappedFile {
+    /// Map `file` (of size `len` bytes) read-only. `None` means "fall back".
+    pub(crate) fn map(file: &File, len: usize) -> Option<MappedFile> {
+        sys::Map::open(file, len).map(|inner| MappedFile { inner })
+    }
+
+    /// The mapped bytes. The base pointer is page-aligned (guaranteed by
+    /// `mmap`), which is what lets 64-byte-aligned `.zsm` bank payloads be
+    /// reinterpreted as `f64` rows in place.
+    pub(crate) fn as_bytes(&self) -> &[u8] {
+        self.inner.as_bytes()
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.as_bytes().len())
+            .finish()
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents_and_unmaps_on_drop() {
+        let dir = std::env::temp_dir().join(format!("zsl_mmap_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("payload.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(&payload))
+            .expect("write");
+        let file = std::fs::File::open(&path).expect("open");
+        let map = MappedFile::map(&file, payload.len()).expect("mmap");
+        drop(file); // the mapping must outlive the descriptor
+        assert_eq!(map.as_bytes(), &payload[..]);
+        drop(map);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_files_decline_to_map() {
+        let dir = std::env::temp_dir().join(format!("zsl_mmap_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).expect("create");
+        let file = std::fs::File::open(&path).expect("open");
+        assert!(MappedFile::map(&file, 0).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

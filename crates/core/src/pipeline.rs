@@ -60,6 +60,10 @@ pub struct Pipeline<'a, S: FeatureSource + ?Sized> {
     /// `Some` once set explicitly (or adopted from a sweep); `None` means
     /// "nobody chose yet" and resolves to cosine at train time.
     similarity: Option<Similarity>,
+    /// Calibrated-stacking penalty `γ_cal` applied to the seen-class prefix
+    /// of the union bank at serving time; 0 disables calibration (the
+    /// historical behavior, bit-for-bit).
+    calibration: f64,
     cv: Option<CrossValReport>,
 }
 
@@ -72,6 +76,7 @@ impl<'a, S: FeatureSource + ?Sized> From<&'a S> for Pipeline<'a, S> {
             config: EszslConfig::default(),
             trainer: None,
             similarity: None,
+            calibration: 0.0,
             cv: None,
         }
     }
@@ -103,6 +108,17 @@ impl<'a, S: FeatureSource + ?Sized> Pipeline<'a, S> {
     /// *under* it rather than overwriting it.
     pub fn similarity(mut self, similarity: Similarity) -> Self {
         self.similarity = Some(similarity);
+        self
+    }
+
+    /// Set the calibrated-stacking penalty `γ_cal` directly: the trained
+    /// engine subtracts it from every seen-class score, trading a little
+    /// seen accuracy for unseen accuracy in GZSL reports. `0` (the default)
+    /// disables calibration. A later [`Pipeline::cross_validate`] whose
+    /// [`CrossValConfig::calibrations`] grid is non-trivial overwrites this
+    /// with the sweep winner.
+    pub fn calibration(mut self, gamma_cal: f64) -> Self {
+        self.calibration = gamma_cal;
         self
     }
 
@@ -138,6 +154,7 @@ impl<'a, S: FeatureSource + ?Sized> Pipeline<'a, S> {
             let cv = cross_validate_with(trainer.as_ref(), &DynSource(self.source), &sweep)?;
             self.trainer = Some(trainer.with_point(cv.best.gamma, cv.best.lambda));
             self.similarity = Some(sweep.similarity);
+            self.calibration = cv.best.calibration;
             self.cv = Some(cv);
             return Ok(self);
         }
@@ -162,12 +179,14 @@ impl<'a, S: FeatureSource + ?Sized> Pipeline<'a, S> {
         self.config.gamma = cv.best.gamma;
         self.config.lambda = cv.best.lambda;
         self.similarity = Some(sweep.similarity);
+        self.calibration = cv.best.calibration;
         self.cv = Some(cv);
         Ok(self)
     }
 
     /// Fit the pipeline's trainer on the trainval split and build the
-    /// serving engine over the source's union signature bank.
+    /// serving engine over the source's union signature bank, applying any
+    /// calibrated-stacking penalty to the bank's seen-class prefix.
     pub fn train(self) -> Result<TrainedPipeline<'a, S>, ZslError> {
         let similarity = self.similarity.unwrap_or_default();
         let model: TrainedModel = match &self.trainer {
@@ -176,7 +195,11 @@ impl<'a, S: FeatureSource + ?Sized> Pipeline<'a, S> {
                 .fit(self.source)?
                 .into(),
         };
-        let engine = ScoringEngine::new(model, self.source.union_signatures(), similarity);
+        // Fallible construction + calibration: this path feeds artifacts and
+        // servers, so malformed parts (or a γ_cal that cannot apply) must be
+        // typed errors, not panics. γ_cal = 0 leaves the engine untouched.
+        let engine = ScoringEngine::try_new(model, self.source.union_signatures(), similarity)?
+            .with_calibration(self.calibration, self.source.num_seen_classes())?;
         Ok(TrainedPipeline {
             source: self.source,
             engine,
@@ -256,12 +279,15 @@ impl<S: FeatureSource + ?Sized> TrainedPipeline<'_, S> {
                 self.config.normalize_signatures,
             ),
         };
-        let metadata = format!(
+        let mut metadata = format!(
             "{trainer}; similarity={}; seen_classes={}; unseen_classes={}",
             self.engine.similarity(),
             self.source.num_seen_classes(),
             self.source.num_unseen_classes(),
         );
+        if let Some((gamma_cal, _)) = self.engine.seen_calibration() {
+            metadata.push_str(&format!("; gamma_cal={gamma_cal}"));
+        }
         self.engine.save_with_metadata(path, &metadata)
     }
 }

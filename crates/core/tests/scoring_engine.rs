@@ -109,13 +109,13 @@ fn classifier_wrapper_delegates_to_engine() {
     // Engine predictions must not depend on the thread count.
     let serial = ScoringEngine::with_threads(
         clf.engine().model().clone(),
-        clf.engine().signatures().clone(),
+        clf.engine().signatures().to_matrix(),
         Similarity::Dot, // bank already normalized inside the engine
         1,
     );
     let parallel = ScoringEngine::with_threads(
         clf.engine().model().clone(),
-        clf.engine().signatures().clone(),
+        clf.engine().signatures().to_matrix(),
         Similarity::Dot,
         8,
     );

@@ -481,6 +481,112 @@ fn rbf_gram_scoring_scales_with_pool_threads() {
 
 #[test]
 #[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn sharded_bank_streaming_topk_vs_monolithic() {
+    // The large-class-axis path: the bank is split into row bands scored one
+    // at a time, with rankings folded through a per-row bounded heap — peak
+    // score memory drops from chunk_rows x z to chunk_rows x band + n x k
+    // while the bits stay identical to the monolithic path.
+    let w = workload();
+    let z_big = if smoke() { 512 } else { 8192 };
+    let shards = 8usize;
+    let k = 10usize;
+    let mut rng = Rng::new(0x5AD5);
+    let weights = random_matrix(&mut rng, w.d, w.a);
+    let bank = random_matrix(&mut rng, z_big, w.a);
+    let x = random_matrix(&mut rng, w.n, w.d);
+    let monolithic = ScoringEngine::new(
+        ProjectionModel::from_weights(weights.clone()),
+        bank.clone(),
+        Similarity::Cosine,
+    );
+    let mut sharded = ScoringEngine::new(
+        ProjectionModel::from_weights(weights),
+        bank,
+        Similarity::Cosine,
+    );
+    sharded.set_bank_shards(shards);
+    let bands = sharded.bank_shards().count();
+
+    let reference = monolithic.predict_topk(&x, k);
+    let banded = sharded.predict_topk(&x, k);
+    assert_eq!(reference, banded, "sharded top-k diverged from monolithic");
+
+    let (t_mono, _) = time_best(w.iters, || monolithic.predict_topk(&x, k));
+    let (t_sharded, _) = time_best(w.iters, || sharded.predict_topk(&x, k));
+    let band_z = sharded.bank_shards().max_band_classes();
+    println!(
+        "[bench] sharded-topk n={} d={} a={} z={} k={} shards={bands}: \
+         monolithic={:.4}s ({:.0} samples/s) sharded={:.4}s ({:.0} samples/s) ratio={:.2}x \
+         peak-score-mem {:.1} KiB vs {:.1} KiB per chunk",
+        w.n,
+        w.d,
+        w.a,
+        z_big,
+        k,
+        t_mono,
+        w.n as f64 / t_mono,
+        t_sharded,
+        w.n as f64 / t_sharded,
+        t_sharded / t_mono,
+        (w.n.min(1024) * z_big * 8) as f64 / 1024.0,
+        (w.n.min(1024) * band_z * 8) as f64 / 1024.0,
+    );
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn mmap_boot_vs_heap_boot() {
+    // Cold-boot cost of a large-bank artifact: the heap loader copies and
+    // validates the whole bank up front; the mapped loader borrows the bank
+    // from the page cache zero-copy (validation still runs — in place).
+    let w = workload();
+    let z_big = if smoke() { 512 } else { 8192 };
+    let mut rng = Rng::new(0x3A90);
+    let weights = random_matrix(&mut rng, w.d, w.a);
+    let bank = random_matrix(&mut rng, z_big, w.a);
+    let x = random_matrix(&mut rng, 64, w.d);
+    let engine = ScoringEngine::new(
+        ProjectionModel::from_weights(weights),
+        bank,
+        Similarity::Cosine,
+    );
+    let path = std::env::temp_dir().join(format!("zsl_bench_mmap_{}.zsm", std::process::id()));
+    engine.save(&path).expect("save");
+
+    let (heap, _) = ScoringEngine::load_with_metadata(&path).expect("heap load");
+    let (mapped, _) = ScoringEngine::load_mapped(&path).expect("mapped load");
+    assert_eq!(
+        heap.predict_topk(&x, 5),
+        mapped.predict_topk(&x, 5),
+        "mapped boot diverged from heap boot"
+    );
+
+    let boot_iters = if smoke() { 3 } else { 10 };
+    let (t_heap, _) = time_best(boot_iters, || {
+        ScoringEngine::load_with_metadata(&path).expect("heap load")
+    });
+    let (t_mapped, _) = time_best(boot_iters, || {
+        ScoringEngine::load_mapped(&path).expect("mapped load")
+    });
+    println!(
+        "[bench] mmap-boot d={} a={} z={} artifact={:.1} KiB mapped={}: \
+         heap={:.3}ms ({:.1} KiB resident) mmap={:.3}ms ({:.1} KiB resident) speedup={:.2}x",
+        w.d,
+        w.a,
+        z_big,
+        std::fs::metadata(&path).expect("meta").len() as f64 / 1024.0,
+        mapped.is_bank_mapped(),
+        t_heap * 1e3,
+        heap.bank_resident_bytes() as f64 / 1024.0,
+        t_mapped * 1e3,
+        mapped.bank_resident_bytes() as f64 / 1024.0,
+        t_heap / t_mapped
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
 fn chunked_streaming_throughput() {
     let w = workload();
     let mut rng = Rng::new(0xF00D);

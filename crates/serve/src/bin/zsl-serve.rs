@@ -22,13 +22,16 @@ use zsl_serve::{BatchConfig, Server, ServerConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: zsl-serve <model.zsm> [--addr HOST:PORT] [--threads N] [--max-batch N] \
-         [--linger-us N] [--watch-ms N | --no-watch] [--max-body-mb N]\n\n\
+         [--linger-us N] [--watch-ms N | --no-watch] [--max-body-mb N] [--mmap] [--shards N]\n\n\
          Boots a prediction server from the .zsm artifact alone. Concurrent requests are\n\
          coalesced into batches (up to --max-batch rows, lingering --linger-us for\n\
          stragglers); the artifact path is polled every --watch-ms and hot-swapped\n\
          atomically on change. --threads pins the scoring engine's kernel parallelism\n\
          (default: one band per CPU; pin it low on loaded boxes — request threads\n\
-         already provide concurrency, and kernel fan-out on top oversubscribes cores)."
+         already provide concurrency, and kernel fan-out on top oversubscribes cores).\n\
+         --mmap boots by memory-mapping the artifact (zero-copy signature bank when the\n\
+         file layout allows, heap fallback otherwise); --shards splits the bank into N\n\
+         row bands for streaming top-k scoring — same bits, lower peak score memory."
     );
     ExitCode::FAILURE
 }
@@ -48,6 +51,11 @@ fn main() -> ExitCode {
         let flag = args[i].as_str();
         if flag == "--no-watch" {
             config.watch_interval = None;
+            i += 1;
+            continue;
+        }
+        if flag == "--mmap" {
+            config.mmap_boot = true;
             i += 1;
             continue;
         }
@@ -75,6 +83,10 @@ fn main() -> ExitCode {
             },
             "--max-body-mb" => match value.parse::<usize>() {
                 Ok(mb) if mb > 0 => config.max_body_bytes = mb << 20,
+                _ => return usage(),
+            },
+            "--shards" => match value.parse() {
+                Ok(n) if n > 0 => config.bank_shards = Some(n),
                 _ => return usage(),
             },
             _ => return usage(),
@@ -110,12 +122,14 @@ fn main() -> ExitCode {
     );
     println!(
         "zsl-serve: listening on http://{} (engine_threads={}, max_batch={}, linger={:?}, \
-         watch={:?})",
+         watch={:?}, bank_shards={}, mmap={})",
         server.addr(),
         snapshot.engine.threads(),
         config.batch.max_batch,
         config.batch.linger,
         config.watch_interval,
+        snapshot.engine.bank_shards().count(),
+        snapshot.engine.is_bank_mapped(),
     );
     server.run_until_stopped();
     ExitCode::SUCCESS

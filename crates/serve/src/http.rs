@@ -30,7 +30,7 @@
 
 use crate::batch::{BatchConfig, Coalescer, RowResult};
 use crate::error::ServeError;
-use crate::model::{spawn_watcher, ModelHandle};
+use crate::model::{spawn_watcher, BootOptions, ModelHandle};
 use crate::stats::{ServeStats, StatsSnapshot};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -58,6 +58,14 @@ pub struct ServerConfig {
     /// per-request kernel fan-out on top of per-connection threads
     /// oversubscribes the cores.
     pub engine_threads: Option<usize>,
+    /// Boot (and hot-swap) through [`zsl_core::ScoringEngine::load_mapped`]:
+    /// the signature bank is borrowed zero-copy from the mmap'd artifact
+    /// when layout and platform allow, with a transparent heap fallback.
+    pub mmap_boot: bool,
+    /// Split the signature bank into this many shards for streaming top-k
+    /// scoring; `None` keeps the monolithic bank. Bit-identical scores at
+    /// every shard count — only peak score memory changes.
+    pub bank_shards: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +76,8 @@ impl Default for ServerConfig {
             watch_interval: Some(Duration::from_millis(500)),
             max_body_bytes: 16 << 20,
             engine_threads: None,
+            mmap_boot: false,
+            bank_shards: None,
         }
     }
 }
@@ -92,10 +102,14 @@ impl Server {
             .engine_threads
             .unwrap_or_else(zsl_core::default_threads)
             .max(1);
-        let model = Arc::new(ModelHandle::boot_with_threads(
+        let model = Arc::new(ModelHandle::boot_with_options(
             model_path,
             stats.clone(),
-            engine_threads,
+            BootOptions {
+                engine_threads,
+                mmap_boot: config.mmap_boot,
+                bank_shards: config.bank_shards,
+            },
         )?);
         // Warm the process-wide linalg pool now, off the request path, and
         // publish both sizing gauges so `/stats` shows how the engine was

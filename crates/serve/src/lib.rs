@@ -42,5 +42,5 @@ pub mod stats;
 pub use batch::{BatchConfig, Coalescer, RowResult};
 pub use error::ServeError;
 pub use http::{Server, ServerConfig};
-pub use model::{spawn_watcher, ModelHandle, ModelSnapshot};
+pub use model::{spawn_watcher, BootOptions, ModelHandle, ModelSnapshot};
 pub use stats::{ServeStats, StatsSnapshot};

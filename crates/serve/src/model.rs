@@ -6,7 +6,8 @@
 //! - Request threads see **one immutable [`ScoringEngine`]** behind an
 //!   `Arc`: a snapshot taken at batch time keeps scoring that exact model
 //!   even if a reload lands mid-batch, so no batch ever mixes two models.
-//! - Reload goes through [`ScoringEngine::load_with_metadata`], which
+//! - Reload goes through [`ScoringEngine::load_with_metadata`] (or
+//!   [`ScoringEngine::load_mapped`] under [`BootOptions::mmap_boot`]), which
 //!   validates the entire artifact before anything is swapped — combined
 //!   with the writer side's fsync + unique-temp + rename discipline, a
 //!   swap can only ever install a complete old or complete new model,
@@ -35,21 +36,79 @@ pub struct ModelSnapshot {
 }
 
 /// On-disk identity of the artifact last loaded, used to detect changes
-/// without re-reading the file.
+/// without re-reading (or re-validating) the whole file.
+///
+/// Length + mtime alone are not enough: a retrainer that re-saves a
+/// same-shape model within the filesystem's timestamp granularity (coarse
+/// on some filesystems, and a realistic fast-retrain scenario) produces a
+/// byte-different artifact with an identical `(len, mtime)` pair, and the
+/// watcher would skip the swap forever. The fingerprint therefore also
+/// carries a cheap FNV-1a digest of the artifact's length, first page
+/// (header + metadata + the start of the model payload) and last page (the
+/// tail of the bank) — two 4 KiB reads, independent of artifact size, and
+/// any retrain perturbs the bank tail.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Fingerprint {
     len: u64,
     modified: Option<SystemTime>,
+    digest: u64,
+}
+
+/// Bytes hashed from each end of the artifact.
+const FINGERPRINT_SPAN: usize = 4096;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 impl Fingerprint {
     fn probe(path: &Path) -> std::io::Result<Fingerprint> {
-        let meta = std::fs::metadata(path)?;
+        use std::io::{Read, Seek, SeekFrom};
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        // One open handle for metadata and reads: even if the path is
+        // atomically renamed over mid-probe, every field below describes the
+        // same inode.
+        let mut file = std::fs::File::open(path)?;
+        let meta = file.metadata()?;
+        let len = meta.len();
+        let mut digest = fnv1a(FNV_OFFSET, &len.to_le_bytes());
+        let span = FINGERPRINT_SPAN.min(usize::try_from(len).unwrap_or(FINGERPRINT_SPAN));
+        let mut buf = vec![0u8; span];
+        file.read_exact(&mut buf)?;
+        digest = fnv1a(digest, &buf);
+        if len > span as u64 {
+            file.seek(SeekFrom::End(-(span as i64)))?;
+            file.read_exact(&mut buf)?;
+            digest = fnv1a(digest, &buf);
+        }
         Ok(Fingerprint {
-            len: meta.len(),
+            len,
             modified: meta.modified().ok(),
+            digest,
         })
     }
+}
+
+/// How [`ModelHandle::boot_with_options`] loads and sizes engines — applied
+/// identically at boot and on every hot swap, so a reload can never revert
+/// the daemon to different scoring behavior than it booted with.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BootOptions {
+    /// Kernel thread count per installed engine; 0 means one thread per
+    /// available core.
+    pub engine_threads: usize,
+    /// Load artifacts through [`ScoringEngine::load_mapped`]: zero-copy bank
+    /// borrow when the artifact layout and platform allow it, transparent
+    /// heap fallback otherwise.
+    pub mmap_boot: bool,
+    /// Split the signature bank into this many shards for streaming top-k
+    /// scoring (`None` keeps the monolithic bank). Scored bits are identical
+    /// at every shard count; only peak score memory changes.
+    pub bank_shards: Option<usize>,
 }
 
 /// The daemon's model slot: boots from a `.zsm` artifact, hands out
@@ -59,12 +118,14 @@ pub struct ModelHandle {
     path: PathBuf,
     current: RwLock<(Arc<ModelSnapshot>, Fingerprint)>,
     stats: Arc<ServeStats>,
-    /// Kernel thread count applied to every engine this handle installs
-    /// (boot and each reload). Sized once at boot: request threads already
-    /// provide the serving concurrency, so the engine must not additionally
-    /// fan each batch out to `default_threads()` bands per request thread —
-    /// that oversubscribes the cores and slows every batch down.
-    engine_threads: usize,
+    /// Load/sizing options applied to every engine this handle installs
+    /// (boot and each reload). `engine_threads` is sized once at boot:
+    /// request threads already provide the serving concurrency, so the
+    /// engine must not additionally fan each batch out to
+    /// `default_threads()` bands per request thread — that oversubscribes
+    /// the cores and slows every batch down. The mmap and shard options are
+    /// re-applied on every hot swap for the same reason.
+    options: BootOptions,
 }
 
 impl ModelHandle {
@@ -87,10 +148,31 @@ impl ModelHandle {
         stats: Arc<ServeStats>,
         engine_threads: usize,
     ) -> Result<ModelHandle, ServeError> {
-        let engine_threads = engine_threads.max(1);
+        Self::boot_with_options(
+            path,
+            stats,
+            BootOptions {
+                engine_threads,
+                ..BootOptions::default()
+            },
+        )
+    }
+
+    /// Boot with full [`BootOptions`]: thread sizing, opt-in mmap loading,
+    /// and bank sharding. Every later hot swap re-applies the same options.
+    pub fn boot_with_options(
+        path: &Path,
+        stats: Arc<ServeStats>,
+        mut options: BootOptions,
+    ) -> Result<ModelHandle, ServeError> {
+        options.engine_threads = if options.engine_threads == 0 {
+            zsl_core::default_threads()
+        } else {
+            options.engine_threads
+        };
         let fingerprint = Fingerprint::probe(path)?;
-        let (mut engine, metadata) = ScoringEngine::load_with_metadata(path)?;
-        engine.set_threads(engine_threads);
+        let (engine, metadata) = Self::load_engine(path, &options)?;
+        Self::set_bank_gauges(&stats, &engine);
         let snapshot = Arc::new(ModelSnapshot {
             engine: Arc::new(engine),
             metadata,
@@ -100,13 +182,44 @@ impl ModelHandle {
             path: path.to_path_buf(),
             current: RwLock::new((snapshot, fingerprint)),
             stats,
-            engine_threads,
+            options,
         })
+    }
+
+    /// Load + size one engine per the handle's options — the single code
+    /// path behind boot and every reload.
+    fn load_engine(
+        path: &Path,
+        options: &BootOptions,
+    ) -> Result<(ScoringEngine, String), ServeError> {
+        let (mut engine, metadata) = if options.mmap_boot {
+            ScoringEngine::load_mapped(path)?
+        } else {
+            ScoringEngine::load_with_metadata(path)?
+        };
+        engine.set_threads(options.engine_threads);
+        if let Some(shards) = options.bank_shards {
+            engine.set_bank_shards(shards);
+        }
+        Ok((engine, metadata))
+    }
+
+    fn set_bank_gauges(stats: &ServeStats, engine: &ScoringEngine) {
+        stats.set_bank_gauges(
+            engine.bank_shards().count(),
+            engine.bank_resident_bytes(),
+            engine.is_bank_mapped(),
+        );
     }
 
     /// Kernel thread count applied to every installed engine.
     pub fn engine_threads(&self) -> usize {
-        self.engine_threads
+        self.options.engine_threads
+    }
+
+    /// The load/sizing options applied to every installed engine.
+    pub fn options(&self) -> BootOptions {
+        self.options
     }
 
     /// Path of the artifact this handle watches.
@@ -134,9 +247,9 @@ impl ModelHandle {
             self.stats.record_reload(false);
             ServeError::Io(e)
         })?;
-        match ScoringEngine::load_with_metadata(&self.path) {
-            Ok((mut engine, metadata)) => {
-                engine.set_threads(self.engine_threads);
+        match Self::load_engine(&self.path, &self.options) {
+            Ok((engine, metadata)) => {
+                Self::set_bank_gauges(&self.stats, &engine);
                 let mut slot = self.current.write().expect("model lock poisoned");
                 let generation = slot.0.generation + 1;
                 *slot = (
@@ -152,13 +265,14 @@ impl ModelHandle {
             }
             Err(e) => {
                 self.stats.record_reload(false);
-                Err(ServeError::Model(e))
+                Err(e)
             }
         }
     }
 
-    /// Reload only if the artifact's on-disk fingerprint (length + mtime)
-    /// changed since the last successful load — the watcher's poll step.
+    /// Reload only if the artifact's on-disk fingerprint (length + mtime +
+    /// content digest) changed since the last successful load — the
+    /// watcher's poll step.
     /// Returns `Ok(Some(generation))` after a swap, `Ok(None)` when the
     /// file is unchanged.
     pub fn poll(&self) -> Result<Option<u64>, ServeError> {
@@ -266,6 +380,58 @@ mod tests {
             3,
             "hot swap must not revert the boot-time engine sizing"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn same_length_same_mtime_resave_still_triggers_hot_swap() {
+        let path = temp_artifact("digest", 4);
+        let stats = Arc::new(ServeStats::new());
+        let handle = ModelHandle::boot(&path, stats).expect("boot");
+        let original_len = std::fs::metadata(&path).expect("meta").len();
+        let original_mtime = std::fs::metadata(&path)
+            .expect("meta")
+            .modified()
+            .expect("mtime");
+
+        // Retrain scenario: a byte-different artifact of identical length
+        // (same dims, same metadata length) lands faster than the
+        // filesystem's timestamp granularity. Simulate the worst case by
+        // pinning the mtime back to the original value — a `(len, mtime)`
+        // fingerprint sees nothing, only the content digest can.
+        let mut rng = Rng::new(77);
+        let w = Matrix::from_vec(3, 2, (0..6).map(|_| rng.normal()).collect());
+        let bank = Matrix::from_vec(4, 2, (0..8).map(|_| rng.normal()).collect());
+        ScoringEngine::new(ProjectionModel::from_weights(w), bank, Similarity::Dot)
+            .save_with_metadata(&path, "seed=77")
+            .expect("resave");
+        assert_eq!(
+            std::fs::metadata(&path).expect("meta").len(),
+            original_len,
+            "scenario requires a same-length resave"
+        );
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .expect("open for set_times");
+        file.set_times(std::fs::FileTimes::new().set_modified(original_mtime))
+            .expect("pin mtime");
+        drop(file);
+        assert_eq!(
+            std::fs::metadata(&path)
+                .expect("meta")
+                .modified()
+                .expect("mtime"),
+            original_mtime,
+            "scenario requires an identical mtime"
+        );
+
+        assert_eq!(
+            handle.poll().expect("poll"),
+            Some(2),
+            "content digest must catch a same-length same-mtime rewrite"
+        );
+        assert_eq!(handle.snapshot().metadata, "seed=77");
         std::fs::remove_file(&path).ok();
     }
 

@@ -36,6 +36,15 @@ pub struct ServeStats {
     /// Threads in the process-wide linalg worker pool (including the
     /// submitting thread). Also a boot-time gauge.
     pool_threads: AtomicU64,
+    /// Shard count of the installed engine's signature bank. A gauge,
+    /// refreshed on every snapshot install (boot and each hot swap).
+    bank_shards: AtomicU64,
+    /// Heap bytes resident for the installed engine's bank (0 when the bank
+    /// is borrowed from an mmap'd artifact). Refreshed on every install.
+    bank_resident_bytes: AtomicU64,
+    /// 1 when the installed engine borrows its bank from a memory-mapped
+    /// artifact, 0 when the bank is heap-owned. Refreshed on every install.
+    mmap_boot: AtomicU64,
 }
 
 /// One consistent-enough copy of the counters.
@@ -51,6 +60,9 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     pub engine_threads: u64,
     pub pool_threads: u64,
+    pub bank_shards: u64,
+    pub bank_resident_bytes: u64,
+    pub mmap_boot: u64,
 }
 
 impl ServeStats {
@@ -86,6 +98,17 @@ impl ServeStats {
             .store(pool_threads as u64, Ordering::Relaxed);
     }
 
+    /// Set the bank gauges for the engine just installed: shard count,
+    /// heap-resident bank bytes, and whether the bank is mmap-borrowed.
+    /// Called by the model handle on boot and on every successful hot swap,
+    /// so `/stats` always describes the engine actually serving.
+    pub fn set_bank_gauges(&self, shards: usize, resident_bytes: usize, mapped: bool) {
+        self.bank_shards.store(shards as u64, Ordering::Relaxed);
+        self.bank_resident_bytes
+            .store(resident_bytes as u64, Ordering::Relaxed);
+        self.mmap_boot.store(u64::from(mapped), Ordering::Relaxed);
+    }
+
     pub fn record_reload(&self, ok: bool) {
         if ok {
             self.reloads.fetch_add(1, Ordering::Relaxed);
@@ -106,6 +129,9 @@ impl ServeStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             engine_threads: self.engine_threads.load(Ordering::Relaxed),
             pool_threads: self.pool_threads.load(Ordering::Relaxed),
+            bank_shards: self.bank_shards.load(Ordering::Relaxed),
+            bank_resident_bytes: self.bank_resident_bytes.load(Ordering::Relaxed),
+            mmap_boot: self.mmap_boot.load(Ordering::Relaxed),
         }
     }
 }
@@ -115,7 +141,8 @@ impl StatsSnapshot {
     pub fn render(&self) -> String {
         format!(
             "requests={}\nrows={}\nbatches={}\nmax_batch_rows={}\ncoalesced_batches={}\n\
-             reloads={}\nreload_failures={}\nrejected={}\nengine_threads={}\npool_threads={}\n",
+             reloads={}\nreload_failures={}\nrejected={}\nengine_threads={}\npool_threads={}\n\
+             bank_shards={}\nbank_resident_bytes={}\nmmap_boot={}\n",
             self.requests,
             self.rows,
             self.batches,
@@ -125,7 +152,10 @@ impl StatsSnapshot {
             self.reload_failures,
             self.rejected,
             self.engine_threads,
-            self.pool_threads
+            self.pool_threads,
+            self.bank_shards,
+            self.bank_resident_bytes,
+            self.mmap_boot
         )
     }
 }
@@ -158,5 +188,22 @@ mod tests {
         assert_eq!(snap.pool_threads, 4);
         assert!(snap.render().contains("engine_threads=3"));
         assert!(snap.render().contains("pool_threads=4"));
+    }
+
+    #[test]
+    fn bank_gauges_track_each_install_and_render() {
+        let stats = ServeStats::new();
+        stats.set_bank_gauges(4, 8192, false);
+        let snap = stats.snapshot();
+        assert_eq!(snap.bank_shards, 4);
+        assert_eq!(snap.bank_resident_bytes, 8192);
+        assert_eq!(snap.mmap_boot, 0);
+        stats.set_bank_gauges(1, 0, true);
+        let snap = stats.snapshot();
+        assert_eq!(snap.bank_resident_bytes, 0);
+        assert_eq!(snap.mmap_boot, 1);
+        assert!(snap.render().contains("bank_shards=1"));
+        assert!(snap.render().contains("bank_resident_bytes=0"));
+        assert!(snap.render().contains("mmap_boot=1"));
     }
 }

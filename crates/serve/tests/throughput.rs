@@ -271,3 +271,66 @@ fn hot_swap_latency_is_bounded_by_one_artifact_load() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn mmap_sharded_boot_and_reload_latency() {
+    // The large-class-axis serving mode: boot via mmap (zero-copy bank) with
+    // the bank sharded for streaming top-k, and measure what a hot swap
+    // costs in that mode — the staleness bound for a daemon fronting a bank
+    // too large to want on the heap.
+    let w = workload();
+    let z_big = if smoke() { 512 } else { 4096 };
+    let shards = 8usize;
+    let mut rng = Rng::new(0x3A99);
+    let weights = Matrix::from_vec(w.d, w.a, (0..w.d * w.a).map(|_| rng.normal()).collect());
+    let bank = Matrix::from_vec(z_big, w.a, (0..z_big * w.a).map(|_| rng.normal()).collect());
+    let engine = ScoringEngine::new(
+        ProjectionModel::from_weights(weights),
+        bank,
+        Similarity::Cosine,
+    );
+    let path = std::env::temp_dir().join(format!("zsl_mmap_bench_{}.zsm", std::process::id()));
+    engine.save(&path).expect("save");
+    let server = Server::start(
+        &path,
+        ServerConfig {
+            watch_interval: None,
+            mmap_boot: true,
+            bank_shards: Some(shards),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let stats = server.stats();
+    assert!(stats.bank_shards >= 1, "shard gauge never published");
+    if cfg!(all(unix, target_endian = "little")) {
+        assert_eq!(stats.mmap_boot, 1, "aligned artifact must boot mapped");
+    }
+
+    // Served bits must match direct engine scoring in this mode too.
+    let addr = server.addr();
+    client_loop(addr, &engine, 0xBEA7, 3);
+
+    let iters = if smoke() { 3 } else { 10 };
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        server.model().reload().expect("reload");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let stats = server.stats();
+    println!(
+        "[bench] mmap-sharded-boot d={} a={} z={} shards={} artifact={:.1} KiB \
+         mmap_boot={} bank_resident={:.1} KiB: reload={:.3}ms",
+        w.d,
+        w.a,
+        z_big,
+        stats.bank_shards,
+        std::fs::metadata(&path).expect("meta").len() as f64 / 1024.0,
+        stats.mmap_boot,
+        stats.bank_resident_bytes as f64 / 1024.0,
+        best * 1e3
+    );
+    std::fs::remove_file(&path).ok();
+}
