@@ -1,6 +1,6 @@
 # Tier-1 verify and dev conveniences. `just` mirrors these recipes.
 
-.PHONY: test lint fmt build doc
+.PHONY: test lint fmt build doc import-fixtures
 
 # Matches the tier-1 verify in ROADMAP.md exactly.
 test:
@@ -19,3 +19,8 @@ build:
 # Public-API docs must stay warning-free (CI enforces the same flag).
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+# Regenerate the committed .mat golden fixtures under crates/mat/tests/fixtures/
+# and print the digest constants to paste into tests/golden_import.rs.
+import-fixtures:
+	cargo test -p zsl-mat --test golden_import -- --ignored --nocapture

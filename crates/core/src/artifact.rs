@@ -70,7 +70,6 @@ use crate::mmap::MappedFile;
 use crate::model::ProjectionModel;
 use crate::trainer::{KernelKind, KernelModel, ModelFamily, TrainedModel};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Magic bytes opening every `.zsm` model artifact.
@@ -98,10 +97,6 @@ pub const ZSM_BANK_ALIGN: usize = 64;
 /// f64 land within ~1e-15 of 1, so this is generous for rounding and tight
 /// against real corruption (an all-zero or rescaled row).
 pub const ZSM_NORM_TOLERANCE: f64 = 1e-6;
-
-/// Process-wide counter making concurrent temp-file names unique; see
-/// [`ScoringEngine::save_with_metadata`].
-static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Flags bit 0: the signature bank bytes are already L2-normalized (set iff
 /// the similarity is cosine).
@@ -243,37 +238,10 @@ impl ScoringEngine {
         for &v in bank.as_slice() {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
-        // Temp file in the same directory (renames across filesystems fail),
-        // named after the target plus a pid + process-wide-counter suffix so
-        // *no* two concurrent saves share a temp file — not even two saves to
-        // the same target path, which is exactly what a hot-swap retrainer
-        // does (a deterministic `<target>.tmp` let two such saves interleave
-        // writes into one file and rename a corrupt blend into place). The
-        // data is fsynced before the rename — without that, delayed
-        // allocation can commit the rename before the bytes and a power loss
-        // would leave a truncated "new" artifact. Any failure cleans the temp
-        // file up rather than leaving partial bytes (e.g. on a full disk)
-        // behind.
-        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-        tmp_name.push(format!(
-            ".{}.{}.tmp",
-            std::process::id(),
-            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
-        let tmp = path.with_file_name(tmp_name);
-        let write_synced = (|| {
-            let mut file = std::fs::File::create(&tmp)?;
-            std::io::Write::write_all(&mut file, &bytes)?;
-            file.sync_all()
-        })();
-        write_synced.map_err(|e| {
-            std::fs::remove_file(&tmp).ok();
-            ZslError::Data(DataError::io(&tmp, e))
-        })?;
-        std::fs::rename(&tmp, path).map_err(|e| {
-            std::fs::remove_file(&tmp).ok();
-            ZslError::Data(DataError::io(path, e))
-        })
+        // Crash-safe replace (unique temp sibling + fsync + rename) — the
+        // pattern lives in `fsutil` and is shared with the bundle writers.
+        crate::fsutil::write_atomic(path, &bytes)
+            .map_err(|e| ZslError::Data(DataError::io(e.path, e.source)))
     }
 
     /// Load a `.zsm` artifact written by [`ScoringEngine::save`], discarding

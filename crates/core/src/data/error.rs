@@ -65,6 +65,12 @@ pub enum DataError {
     /// sample indices, seen/unseen class overlap, or a declared unseen-class
     /// set that disagrees with the test-unseen samples.
     Split {
+        /// Manifest file the bad section came from, when the error was
+        /// raised against an on-disk manifest (in-memory validation has no
+        /// file to point at).
+        path: Option<PathBuf>,
+        /// 1-based line of the offending manifest section, when known.
+        line: Option<usize>,
         /// What was wrong.
         message: String,
     },
@@ -107,7 +113,20 @@ impl std::fmt::Display for DataError {
             DataError::EmptySplit { split } => {
                 write!(f, "split '{split}' has no sample indices")
             }
-            DataError::Split { message } => write!(f, "invalid split manifest: {message}"),
+            DataError::Split {
+                path,
+                line,
+                message,
+            } => {
+                write!(f, "invalid split manifest")?;
+                if let Some(path) = path {
+                    write!(f, " at {}", path.display())?;
+                    if let Some(line) = line {
+                        write!(f, ":{line}")?;
+                    }
+                }
+                write!(f, ": {message}")
+            }
             DataError::Shape { message } => write!(f, "shape mismatch: {message}"),
         }
     }
@@ -143,6 +162,29 @@ impl DataError {
     pub(crate) fn parse(path: impl Into<PathBuf>, line: usize, message: impl Into<String>) -> Self {
         DataError::Parse {
             path: path.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Build a location-less [`DataError::Split`] (in-memory validation).
+    pub(crate) fn split(message: impl Into<String>) -> Self {
+        DataError::Split {
+            path: None,
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// Build a [`DataError::Split`] pinned to a manifest file and the
+    /// 1-based line of the offending section.
+    pub(crate) fn split_at(
+        path: impl Into<PathBuf>,
+        line: Option<usize>,
+        message: impl Into<String>,
+    ) -> Self {
+        DataError::Split {
+            path: Some(path.into()),
             line,
             message: message.into(),
         }

@@ -21,9 +21,10 @@
 //! dimension mismatches, and malformed manifests never panic.
 
 use super::error::DataError;
+use crate::fsutil;
 use crate::linalg::Matrix;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every `.zsb` feature dump.
 pub const ZSB_MAGIC: [u8; 4] = *b"ZSBF";
@@ -69,23 +70,159 @@ impl FeatureTable {
 /// | 32+4n  | 8·n·d | features, row-major f64 |
 pub fn write_zsb(path: &Path, table: &FeatureTable) -> Result<(), DataError> {
     validate_table_shape(path, table)?;
-    let n = table.features.rows();
-    let d = table.features.cols();
-    let mut bytes = Vec::with_capacity(ZSB_HEADER_LEN as usize + 4 * n + 8 * n * d);
-    bytes.extend_from_slice(&ZSB_MAGIC);
-    bytes.extend_from_slice(&ZSB_VERSION.to_le_bytes());
-    bytes.extend_from_slice(&0u16.to_le_bytes()); // flags
-    bytes.extend_from_slice(&(n as u64).to_le_bytes());
-    bytes.extend_from_slice(&(d as u32).to_le_bytes());
-    bytes.extend_from_slice(&(table.distinct_classes() as u32).to_le_bytes());
-    bytes.extend_from_slice(&0u64.to_le_bytes()); // reserved
-    for &label in &table.labels {
-        bytes.extend_from_slice(&label.to_le_bytes());
+    // The streaming ZsbWriter is the one real encoder; this in-memory path
+    // just feeds it the whole matrix at once, so the two cannot drift.
+    let mut writer = ZsbWriter::create(path, &table.labels, table.features.cols())?;
+    writer.append_rows(&table.features)?;
+    writer.finish()
+}
+
+/// Incremental `.zsb` writer: header and labels up front, feature rows
+/// appended chunk-at-a-time, finished with an fsync + atomic rename.
+///
+/// This is the bounded-memory counterpart of [`write_zsb`] (which is now a
+/// thin wrapper over it): converters streaming a multi-GB feature matrix
+/// out of a foreign container never hold more than one chunk of rows while
+/// producing a byte-identical file. Until [`ZsbWriter::finish`] succeeds,
+/// the target path is untouched — bytes accumulate in a uniquely named temp
+/// sibling that is removed on failure or drop.
+pub struct ZsbWriter {
+    target: PathBuf,
+    tmp: PathBuf,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    expected_rows: usize,
+    feature_dim: usize,
+    rows_written: usize,
+    committed: bool,
+}
+
+impl ZsbWriter {
+    /// Start a `.zsb` file for `labels.len()` samples of `feature_dim`
+    /// features: writes the 32-byte header and the full label block to a
+    /// temp sibling of `path`. Shape rules match [`write_zsb`]: no empty
+    /// tables.
+    pub fn create(path: &Path, labels: &[u32], feature_dim: usize) -> Result<Self, DataError> {
+        if labels.is_empty() || feature_dim == 0 {
+            return Err(DataError::Shape {
+                message: format!(
+                    "{}: refusing to write an empty feature table",
+                    path.display()
+                ),
+            });
+        }
+        let n = labels.len();
+        let mut distinct = labels.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+
+        let tmp = fsutil::unique_temp_sibling(path);
+        let mut head = Vec::with_capacity(ZSB_HEADER_LEN as usize + 4 * n);
+        head.extend_from_slice(&ZSB_MAGIC);
+        head.extend_from_slice(&ZSB_VERSION.to_le_bytes());
+        head.extend_from_slice(&0u16.to_le_bytes()); // flags
+        head.extend_from_slice(&(n as u64).to_le_bytes());
+        head.extend_from_slice(&(feature_dim as u32).to_le_bytes());
+        head.extend_from_slice(&(distinct.len() as u32).to_le_bytes());
+        head.extend_from_slice(&0u64.to_le_bytes()); // reserved
+        for &label in labels {
+            head.extend_from_slice(&label.to_le_bytes());
+        }
+        let write_head = (|| {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            file.write_all(&head)?;
+            Ok(file)
+        })();
+        let file = match write_head {
+            Ok(file) => file,
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                return Err(DataError::io(&tmp, e));
+            }
+        };
+        Ok(ZsbWriter {
+            target: path.into(),
+            tmp,
+            file: Some(file),
+            expected_rows: n,
+            feature_dim,
+            rows_written: 0,
+            committed: false,
+        })
     }
-    for &v in table.features.as_slice() {
-        bytes.extend_from_slice(&v.to_le_bytes());
+
+    /// Append a chunk of feature rows (row-major, `feature_dim` columns).
+    pub fn append_rows(&mut self, rows: &Matrix) -> Result<(), DataError> {
+        if rows.cols() != self.feature_dim {
+            return Err(DataError::Shape {
+                message: format!(
+                    "{}: chunk has {} columns, table has feature_dim {}",
+                    self.target.display(),
+                    rows.cols(),
+                    self.feature_dim
+                ),
+            });
+        }
+        if self.rows_written + rows.rows() > self.expected_rows {
+            return Err(DataError::Shape {
+                message: format!(
+                    "{}: {} rows appended but header promises {}",
+                    self.target.display(),
+                    self.rows_written + rows.rows(),
+                    self.expected_rows
+                ),
+            });
+        }
+        let file = self.file.as_mut().expect("writer not finished");
+        let mut buf = Vec::with_capacity(rows.as_slice().len() * 8);
+        for &v in rows.as_slice() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        file.write_all(&buf)
+            .map_err(|e| DataError::io(&self.tmp, e))?;
+        self.rows_written += rows.rows();
+        Ok(())
     }
-    std::fs::write(path, bytes).map_err(|e| DataError::io(path, e))
+
+    /// Rows appended so far.
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    /// Validate the row count, fsync, and atomically rename the temp file
+    /// over the target.
+    pub fn finish(mut self) -> Result<(), DataError> {
+        if self.rows_written != self.expected_rows {
+            return Err(DataError::Shape {
+                message: format!(
+                    "{}: finished after {} rows but header promises {}",
+                    self.target.display(),
+                    self.rows_written,
+                    self.expected_rows
+                ),
+            });
+        }
+        let file = self.file.take().expect("writer not finished");
+        let synced = (|| {
+            let file = file.into_inner().map_err(|e| e.into_error())?;
+            file.sync_all()
+        })();
+        if let Err(e) = synced {
+            return Err(DataError::io(&self.tmp, e));
+        }
+        fsutil::commit_temp(&self.tmp, &self.target)
+            .map_err(|e| DataError::io(e.path, e.source))?;
+        self.committed = true;
+        Ok(())
+    }
+}
+
+impl Drop for ZsbWriter {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.file.take();
+            std::fs::remove_file(&self.tmp).ok();
+        }
+    }
 }
 
 /// A validated `.zsb` header: magic, version, flags, and reserved bytes have
@@ -225,7 +362,7 @@ pub fn write_features_csv(path: &Path, table: &FeatureTable) -> Result<(), DataE
     for (i, &label) in table.labels.iter().enumerate() {
         write_csv_row(&mut out, label, table.features.row(i));
     }
-    std::fs::write(path, out).map_err(|e| DataError::io(path, e))
+    fsutil::write_atomic(path, &out).map_err(|e| DataError::io(e.path, e.source))
 }
 
 /// Read a CSV feature table written by [`write_features_csv`].
@@ -269,7 +406,7 @@ pub fn write_signatures_csv(
     for (i, &label) in class_labels.iter().enumerate() {
         write_csv_row(&mut out, label, signatures.row(i));
     }
-    std::fs::write(path, out).map_err(|e| DataError::io(path, e))
+    fsutil::write_atomic(path, &out).map_err(|e| DataError::io(e.path, e.source))
 }
 
 /// Read the signature table. Line order defines dense class-id order;
@@ -304,11 +441,63 @@ pub struct SplitManifest {
     pub unseen_classes: Option<Vec<u32>>,
 }
 
+/// 1-based line numbers of each section in a parsed `splits.txt`, recorded
+/// by [`SplitManifest::read_located`] so validation failures can point at
+/// the offending line, not just the file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SectionLines {
+    /// Line of the `trainval:` section.
+    pub trainval: Option<usize>,
+    /// Line of the `test_seen:` section.
+    pub test_seen: Option<usize>,
+    /// Line of the `test_unseen:` section.
+    pub test_unseen: Option<usize>,
+    /// Line of the optional `unseen_classes:` section.
+    pub unseen_classes: Option<usize>,
+}
+
+impl SectionLines {
+    /// Line of the named section, if it was present.
+    pub fn section(&self, name: &str) -> Option<usize> {
+        match name {
+            "trainval" => self.trainval,
+            "test_seen" => self.test_seen,
+            "test_unseen" => self.test_unseen,
+            "unseen_classes" => self.unseen_classes,
+            _ => None,
+        }
+    }
+}
+
 impl SplitManifest {
     /// Check internal consistency against a feature table of `num_samples`
     /// rows: every split non-empty, every index in range, and no index
     /// assigned to two splits.
     pub fn validate(&self, num_samples: usize) -> Result<(), DataError> {
+        self.validate_inner(num_samples, None)
+    }
+
+    /// [`SplitManifest::validate`] for a manifest parsed from disk: any
+    /// failure carries the manifest path and the 1-based line of the section
+    /// the offending index came from.
+    pub fn validate_located(
+        &self,
+        num_samples: usize,
+        path: &Path,
+        lines: &SectionLines,
+    ) -> Result<(), DataError> {
+        self.validate_inner(num_samples, Some((path, lines)))
+    }
+
+    fn validate_inner(
+        &self,
+        num_samples: usize,
+        locate: Option<(&Path, &SectionLines)>,
+    ) -> Result<(), DataError> {
+        let split_err = |name: &str, message: String| match locate {
+            Some((path, lines)) => DataError::split_at(path, lines.section(name), message),
+            None => DataError::split(message),
+        };
         for (name, indices) in self.sections() {
             if indices.is_empty() {
                 return Err(DataError::EmptySplit { split: name.into() });
@@ -318,14 +507,16 @@ impl SplitManifest {
         for (name, indices) in self.sections() {
             for &i in indices {
                 if i >= num_samples {
-                    return Err(DataError::Split {
-                        message: format!("{name} index {i} out of range for {num_samples} samples"),
-                    });
+                    return Err(split_err(
+                        name,
+                        format!("{name} index {i} out of range for {num_samples} samples"),
+                    ));
                 }
                 if assigned[i] {
-                    return Err(DataError::Split {
-                        message: format!("sample index {i} assigned to more than one split"),
-                    });
+                    return Err(split_err(
+                        name,
+                        format!("sample index {i} assigned to more than one split"),
+                    ));
                 }
                 assigned[i] = true;
             }
@@ -368,7 +559,7 @@ impl SplitManifest {
             }
             writeln!(out).expect("vec write");
         }
-        std::fs::write(path, out).map_err(|e| DataError::io(path, e))
+        fsutil::write_atomic(path, &out).map_err(|e| DataError::io(e.path, e.source))
     }
 
     /// Parse a manifest written by [`SplitManifest::write`]. Blank lines and
@@ -376,11 +567,18 @@ impl SplitManifest {
     /// non-numeric indices, are [`DataError::Parse`]; a missing or empty
     /// section is a [`DataError::EmptySplit`].
     pub fn read(path: &Path) -> Result<Self, DataError> {
+        Ok(Self::read_located(path)?.0)
+    }
+
+    /// [`SplitManifest::read`] plus the 1-based line number each section was
+    /// declared on, for validation errors that point at the offending line.
+    pub fn read_located(path: &Path) -> Result<(Self, SectionLines), DataError> {
         let text = std::fs::read_to_string(path).map_err(|e| DataError::io(path, e))?;
         let mut trainval = None;
         let mut test_seen = None;
         let mut test_unseen = None;
         let mut unseen_classes = None;
+        let mut lines = SectionLines::default();
         for (line_no, raw_line) in text.lines().enumerate() {
             let line_no = line_no + 1;
             let line = raw_line.trim();
@@ -390,10 +588,11 @@ impl SplitManifest {
             let (name, rest) = line.split_once(':').ok_or_else(|| {
                 DataError::parse(path, line_no, "expected '<section>: <indices...>'")
             })?;
-            let slot: &mut Option<Vec<usize>> = match name.trim() {
-                "trainval" => &mut trainval,
-                "test_seen" => &mut test_seen,
-                "test_unseen" => &mut test_unseen,
+            let (slot, slot_line): (&mut Option<Vec<usize>>, &mut Option<usize>) = match name.trim()
+            {
+                "trainval" => (&mut trainval, &mut lines.trainval),
+                "test_seen" => (&mut test_seen, &mut lines.test_seen),
+                "test_unseen" => (&mut test_unseen, &mut lines.test_unseen),
                 "unseen_classes" => {
                     if unseen_classes.is_some() {
                         return Err(DataError::parse(
@@ -411,6 +610,7 @@ impl SplitManifest {
                         })
                         .collect();
                     unseen_classes = Some(parsed?);
+                    lines.unseen_classes = Some(line_no);
                     continue;
                 }
                 other => {
@@ -437,16 +637,20 @@ impl SplitManifest {
                 })
                 .collect();
             *slot = Some(parsed?);
+            *slot_line = Some(line_no);
         }
         let require = |slot: Option<Vec<usize>>, name: &str| {
             slot.ok_or_else(|| DataError::EmptySplit { split: name.into() })
         };
-        Ok(SplitManifest {
-            trainval: require(trainval, "trainval")?,
-            test_seen: require(test_seen, "test_seen")?,
-            test_unseen: require(test_unseen, "test_unseen")?,
-            unseen_classes,
-        })
+        Ok((
+            SplitManifest {
+                trainval: require(trainval, "trainval")?,
+                test_seen: require(test_seen, "test_seen")?,
+                test_unseen: require(test_unseen, "test_unseen")?,
+                unseen_classes,
+            },
+            lines,
+        ))
     }
 }
 

@@ -147,8 +147,9 @@ pub(crate) fn load_validated_manifest(
     num_samples: usize,
     class_map: &ClassMap,
 ) -> Result<SplitManifest, DataError> {
-    let manifest = SplitManifest::read(&dir.join(SPLITS_TXT))?;
-    manifest.validate(num_samples)?;
+    let splits_path = dir.join(SPLITS_TXT);
+    let (manifest, section_lines) = SplitManifest::read_located(&splits_path)?;
+    manifest.validate_located(num_samples, &splits_path, &section_lines)?;
     if let Some(declared) = &manifest.unseen_classes {
         for &raw in declared {
             if class_map.dense(raw).is_none() {
@@ -303,13 +304,11 @@ impl SplitPlan {
         for &i in &manifest.test_unseen {
             let class = labels[i];
             if in_trainval[class] {
-                return Err(DataError::Split {
-                    message: format!(
-                        "class {} (raw label {}) has samples in both trainval and test_unseen",
-                        class,
-                        class_map.raw(class).expect("dense id in range")
-                    ),
-                });
+                return Err(DataError::split(format!(
+                    "class {} (raw label {}) has samples in both trainval and test_unseen",
+                    class,
+                    class_map.raw(class).expect("dense id in range")
+                )));
             }
             in_unseen[class] = true;
         }
@@ -323,12 +322,10 @@ impl SplitPlan {
                 .collect();
             declared_dense.sort_unstable();
             if declared_dense != unseen_classes {
-                return Err(DataError::Split {
-                    message: format!(
-                        "manifest declares unseen classes {declared:?} but test_unseen \
-                         samples cover a different class set"
-                    ),
-                });
+                return Err(DataError::split(format!(
+                    "manifest declares unseen classes {declared:?} but test_unseen \
+                     samples cover a different class set"
+                )));
             }
         }
 
@@ -346,13 +343,11 @@ impl SplitPlan {
         // test_seen sample can reference a class that was never trained on.
         for &i in &manifest.test_seen {
             if seen_rank[labels[i]] == usize::MAX {
-                return Err(DataError::Split {
-                    message: format!(
-                        "test_seen sample {i} belongs to class with raw label {} \
-                         which has no trainval samples",
-                        class_map.raw(labels[i]).expect("dense id in range")
-                    ),
-                });
+                return Err(DataError::split(format!(
+                    "test_seen sample {i} belongs to class with raw label {} \
+                     which has no trainval samples",
+                    class_map.raw(labels[i]).expect("dense id in range")
+                )));
             }
         }
 

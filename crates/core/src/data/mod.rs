@@ -30,7 +30,9 @@ pub mod stream;
 mod synthetic;
 
 pub use error::DataError;
-pub use format::{FeatureTable, SplitManifest, ZSB_HEADER_LEN, ZSB_MAGIC, ZSB_VERSION};
+pub use format::{
+    FeatureTable, SectionLines, SplitManifest, ZsbWriter, ZSB_HEADER_LEN, ZSB_MAGIC, ZSB_VERSION,
+};
 pub use loader::{
     export_dataset, ClassMap, DatasetBundle, FeatureFormat, SplitPlan, FEATURES_CSV, FEATURES_ZSB,
     SIGNATURES_CSV, SPLITS_TXT,

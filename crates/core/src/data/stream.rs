@@ -162,12 +162,10 @@ impl CsvIndexedReader {
     ) -> Result<Self, DataError> {
         validate_chunk_rows(chunk_rows)?;
         if let Some(&bad) = indices.iter().find(|&&i| i >= index.len()) {
-            return Err(DataError::Split {
-                message: format!(
-                    "streamed row index {bad} out of range for {} samples",
-                    index.len()
-                ),
-            });
+            return Err(DataError::split(format!(
+                "streamed row index {bad} out of range for {} samples",
+                index.len()
+            )));
         }
         let file = File::open(path).map_err(|e| DataError::io(path, e))?;
         Ok(CsvIndexedReader {
@@ -382,12 +380,10 @@ impl ZsbChunkReader {
     ) -> Result<Self, DataError> {
         let reader = Self::open_inner(path, chunk_rows, Some(indices.to_vec()), read_labels)?;
         if let Some(&bad) = indices.iter().find(|&&i| i >= reader.n_samples) {
-            return Err(DataError::Split {
-                message: format!(
-                    "streamed row index {bad} out of range for {} samples",
-                    reader.n_samples
-                ),
-            });
+            return Err(DataError::split(format!(
+                "streamed row index {bad} out of range for {} samples",
+                reader.n_samples
+            )));
         }
         Ok(reader)
     }
@@ -1012,12 +1008,10 @@ impl StreamingBundle {
     pub fn stream_trainval_subset(&self, local: &[usize]) -> Result<SplitStream, DataError> {
         let trainval = &self.manifest.trainval;
         if let Some(&bad) = local.iter().find(|&&p| p >= trainval.len()) {
-            return Err(DataError::Split {
-                message: format!(
-                    "trainval-subset position {bad} out of range for {} trainval samples",
-                    trainval.len()
-                ),
-            });
+            return Err(DataError::split(format!(
+                "trainval-subset position {bad} out of range for {} trainval samples",
+                trainval.len()
+            )));
         }
         let global: Vec<usize> = local.iter().map(|&p| trainval[p]).collect();
         self.stream_rows(&global, |c| self.plan.seen_rank[c])

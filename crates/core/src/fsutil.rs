@@ -1,0 +1,72 @@
+//! Crash-safe file writes, shared by every artifact and bundle writer.
+//!
+//! The pattern (proven out by the `.zsm` saver): write into a temp file *in
+//! the target's directory* (renames across filesystems fail), named with a
+//! pid + process-wide-counter suffix so no two concurrent saves can share a
+//! temp file — not even two saves to the same target path, which is exactly
+//! what a hot-swap retrainer does. The data is fsynced before the rename;
+//! without that, delayed allocation can commit the rename before the bytes
+//! and a power loss would leave a truncated "new" file. Any failure removes
+//! the temp file rather than leaving partial bytes (e.g. on a full disk)
+//! behind. Readers therefore only ever observe the old complete file or the
+//! new complete file.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An I/O failure during an atomic write, carrying the path it occurred on
+/// (the temp file for write/sync failures, the target for rename failures).
+#[derive(Debug)]
+pub(crate) struct AtomicWriteError {
+    /// File the failing operation targeted.
+    pub path: PathBuf,
+    /// The OS-level error.
+    pub source: std::io::Error,
+}
+
+/// A sibling path of `target` that no other in-flight save can collide
+/// with: `<target>.<pid>.<counter>.tmp`.
+pub(crate) fn unique_temp_sibling(target: &Path) -> PathBuf {
+    let mut tmp_name = target.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    target.with_file_name(tmp_name)
+}
+
+/// Atomically replace `target` with `bytes`: unique temp sibling, write,
+/// fsync, rename. On any failure the temp file is removed and the previous
+/// `target` (if any) is untouched.
+pub(crate) fn write_atomic(target: &Path, bytes: &[u8]) -> Result<(), AtomicWriteError> {
+    let tmp = unique_temp_sibling(target);
+    let write_synced = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()
+    })();
+    if let Err(e) = write_synced {
+        std::fs::remove_file(&tmp).ok();
+        return Err(AtomicWriteError {
+            path: tmp,
+            source: e,
+        });
+    }
+    commit_temp(&tmp, target)
+}
+
+/// Rename a fully written, fsynced temp file over `target`, removing the
+/// temp file on failure. Used directly by streaming writers that manage
+/// their own temp-file handle.
+pub(crate) fn commit_temp(tmp: &Path, target: &Path) -> Result<(), AtomicWriteError> {
+    std::fs::rename(tmp, target).map_err(|e| {
+        std::fs::remove_file(tmp).ok();
+        AtomicWriteError {
+            path: target.into(),
+            source: e,
+        }
+    })
+}

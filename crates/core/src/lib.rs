@@ -96,6 +96,7 @@ pub mod artifact;
 pub mod data;
 mod error;
 pub mod eval;
+pub(crate) mod fsutil;
 pub mod infer;
 pub mod linalg;
 mod mmap;
@@ -107,8 +108,8 @@ pub mod trainer;
 pub use artifact::{ZSM_HEADER_LEN, ZSM_MAGIC, ZSM_MIN_VERSION, ZSM_NORM_TOLERANCE, ZSM_VERSION};
 pub use data::{
     export_dataset, ClassMap, CsvChunkReader, CsvIndexedReader, CsvLineIndex, DataError, Dataset,
-    DatasetBundle, FeatureChunk, FeatureFormat, FeatureTable, Rng, SplitManifest, SplitPlan,
-    SplitStream, StreamingBundle, SyntheticConfig, ZsbChunkReader,
+    DatasetBundle, FeatureChunk, FeatureFormat, FeatureTable, Rng, SectionLines, SplitManifest,
+    SplitPlan, SplitStream, StreamingBundle, SyntheticConfig, ZsbChunkReader, ZsbWriter,
 };
 pub use error::ZslError;
 pub use eval::{

@@ -155,11 +155,9 @@ impl<S: FeatureSource + ?Sized> FeatureSource for DynSource<'_, S> {
 /// error the streaming loader raises.
 fn validate_subset_positions(positions: &[usize], len: usize) -> Result<(), ZslError> {
     if let Some(&bad) = positions.iter().find(|&&p| p >= len) {
-        return Err(ZslError::Data(DataError::Split {
-            message: format!(
-                "trainval-subset position {bad} out of range for {len} trainval samples"
-            ),
-        }));
+        return Err(ZslError::Data(DataError::split(format!(
+            "trainval-subset position {bad} out of range for {len} trainval samples"
+        ))));
     }
     Ok(())
 }

@@ -205,7 +205,7 @@ fn indexed_chunk_reader_rejects_out_of_range_rows() {
     let dir = valid_bundle("indexed_range", FeatureFormat::Zsb);
     let path = dir.join(FEATURES_ZSB);
     match ZsbChunkReader::open_indexed(&path, &[0, 1_000_000], 4) {
-        Err(DataError::Split { message }) => {
+        Err(DataError::Split { message, .. }) => {
             assert!(message.contains("1000000"), "{message}")
         }
         other => panic!("expected Split error, got {other:?}"),
@@ -402,7 +402,7 @@ fn seen_unseen_class_overlap_is_rejected_at_materialization() {
     manifest.write(&path).unwrap();
     let bundle = DatasetBundle::load(&dir).expect("structurally fine");
     match bundle.to_dataset() {
-        Err(DataError::Split { message }) => {
+        Err(DataError::Split { message, .. }) => {
             assert!(
                 message.contains("both trainval and test_unseen"),
                 "got: {message}"
@@ -459,5 +459,64 @@ fn missing_feature_table_is_an_io_error() {
         DatasetBundle::load(&dir),
         Err(DataError::Io { .. })
     ));
+    cleanup(&dir);
+}
+
+#[test]
+fn split_manifest_errors_carry_the_offending_line() {
+    let dir = valid_bundle("split_line_numbers", FeatureFormat::Zsb);
+    let path = dir.join(SPLITS_TXT);
+    let pristine = SplitManifest::read(&path).unwrap();
+
+    // Out-of-range index in test_seen: the error must name splits.txt and
+    // the 1-based line the test_seen section sits on (line 1 is the header
+    // comment, line 2 trainval, line 3 test_seen).
+    let mut bad = pristine.clone();
+    bad.test_seen.push(1_000_000);
+    bad.write(&path).unwrap();
+    match DatasetBundle::load(&dir) {
+        Err(DataError::Split {
+            path: Some(p),
+            line: Some(line),
+            message,
+        }) => {
+            assert!(p.ends_with(SPLITS_TXT), "wrong path: {}", p.display());
+            assert_eq!(line, 3, "test_seen section line");
+            assert!(message.contains("out of range"), "message: {message}");
+        }
+        other => panic!("expected a located Split error, got {other:?}"),
+    }
+
+    // Duplicate assignment: points at the *second* section claiming the
+    // sample (test_unseen, line 4).
+    let mut bad = pristine.clone();
+    bad.test_unseen.push(pristine.trainval[0]);
+    bad.write(&path).unwrap();
+    match DatasetBundle::load(&dir) {
+        Err(DataError::Split {
+            path: Some(p),
+            line: Some(line),
+            message,
+        }) => {
+            assert!(p.ends_with(SPLITS_TXT), "wrong path: {}", p.display());
+            assert_eq!(line, 4, "test_unseen section line");
+            assert!(
+                message.contains("more than one split"),
+                "message: {message}"
+            );
+            // And the rendered form is the clickable path:line shape.
+            let rendered = DataError::Split {
+                path: Some(p),
+                line: Some(line),
+                message,
+            }
+            .to_string();
+            assert!(
+                rendered.contains("splits.txt:4"),
+                "rendered error should embed path:line, got: {rendered}"
+            );
+        }
+        other => panic!("expected a located Split error, got {other:?}"),
+    }
     cleanup(&dir);
 }

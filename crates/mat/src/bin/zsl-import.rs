@@ -1,0 +1,98 @@
+//! `zsl-import` — convert an xlsa17 benchmark (`res101.mat` +
+//! `att_splits.mat`) into a zsl bundle directory.
+//!
+//! ```sh
+//! zsl-import --res101 AWA2/res101.mat --att-splits AWA2/att_splits.mat \
+//!     --out /tmp/awa2_bundle
+//! # then train/evaluate against it:
+//! cargo run --release --example eval_dataset -- train /tmp/awa2_bundle
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use zsl_mat::{MatBundle, DEFAULT_CHUNK_ROWS};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: zsl-import --res101 <res101.mat> --att-splits <att_splits.mat> --out <dir> \
+         [--chunk-rows N]\n\n\
+         Reads an xlsa17 'Proposed Splits' benchmark pair (MAT level-5, v6 or v7;\n\
+         v7.3/HDF5 files are rejected — re-save with save(..., '-v7')) and writes a\n\
+         bundle directory (features.zsb, signatures.csv, splits.txt) loadable by the\n\
+         zsl-core trainers. Features are streamed --chunk-rows samples at a time\n\
+         (default {DEFAULT_CHUNK_ROWS}), so memory stays flat regardless of dataset size; every\n\
+         output file is written via an atomic temp-file rename."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut res101: Option<PathBuf> = None;
+    let mut att_splits: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut chunk_rows = DEFAULT_CHUNK_ROWS;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("{flag} needs a value");
+            return usage();
+        };
+        match flag {
+            "--res101" => res101 = Some(value.into()),
+            "--att-splits" => att_splits = Some(value.into()),
+            "--out" => out = Some(value.into()),
+            "--chunk-rows" => match value.parse() {
+                Ok(n) if n > 0 => chunk_rows = n,
+                _ => {
+                    eprintln!("--chunk-rows needs a positive integer, got '{value}'");
+                    return usage();
+                }
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let (Some(res101), Some(att_splits), Some(out)) = (res101, att_splits, out) else {
+        return usage();
+    };
+
+    let bundle = match MatBundle::open(&res101, &att_splits) {
+        Ok(b) => b,
+        Err(e) => return fail("open", e),
+    };
+    println!(
+        "zsl-import: {} samples x {} features, {} classes x {} attributes \
+         (trainval {}, test_seen {}, test_unseen {})",
+        bundle.num_samples(),
+        bundle.feature_dim(),
+        bundle.num_classes(),
+        bundle.attr_dim(),
+        bundle.manifest().trainval.len(),
+        bundle.manifest().test_seen.len(),
+        bundle.manifest().test_unseen.len(),
+    );
+    let summary = match bundle.convert_to_zsb(&out, chunk_rows) {
+        Ok(s) => s,
+        Err(e) => return fail("convert", e),
+    };
+    println!(
+        "zsl-import: wrote {} (features.zsb + signatures.csv + splits.txt, \
+         {} unseen classes, chunk_rows {})",
+        out.display(),
+        summary.unseen_classes,
+        chunk_rows,
+    );
+    ExitCode::SUCCESS
+}
+
+fn fail(stage: &str, e: zsl_mat::MatError) -> ExitCode {
+    eprintln!("zsl-import: {stage} failed: {e}");
+    let mut source = std::error::Error::source(&e);
+    while let Some(inner) = source {
+        eprintln!("  caused by: {inner}");
+        source = inner.source();
+    }
+    ExitCode::FAILURE
+}

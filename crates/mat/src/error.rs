@@ -1,0 +1,244 @@
+//! Typed errors for the `.mat` ingestion subsystem.
+//!
+//! Every failure — I/O, malformed containers, corrupted zlib payloads,
+//! schema mismatches against the xlsa17 layout — is a [`MatError`], never a
+//! panic: importers run over multi-GB files fetched from the network, and a
+//! byte flip must produce a diagnosable rejection.
+
+use crate::inflate::InflateError;
+use std::path::PathBuf;
+use zsl_core::data::DataError;
+
+/// Error from reading a MAT-file or converting it to a dataset bundle.
+#[derive(Debug)]
+pub enum MatError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// File the operation targeted.
+        path: PathBuf,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// The file ended before the bytes an element tag or header promised.
+    Truncated {
+        /// The truncated file.
+        path: PathBuf,
+        /// Where/what was cut short.
+        message: String,
+    },
+    /// The 128-byte MAT header is invalid: bad magic text, an unknown endian
+    /// indicator, or an unsupported version word.
+    Header {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// The file is a MAT v7.3 (HDF5) container, which this reader
+    /// deliberately rejects rather than misparse. Re-save with
+    /// `save(..., '-v7')` or convert externally.
+    UnsupportedV73 {
+        /// The v7.3 file.
+        path: PathBuf,
+    },
+    /// A well-formed construct this reader does not handle (complex or
+    /// sparse arrays, preset zlib dictionaries, exotic element types).
+    Unsupported {
+        /// The offending file.
+        path: PathBuf,
+        /// What was encountered.
+        message: String,
+    },
+    /// An element inside the file is structurally malformed (bad sub-element
+    /// type, impossible byte count, dimension/count disagreement).
+    Element {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// A compressed (`miCOMPRESSED`) element's zlib stream is malformed.
+    Inflate {
+        /// The offending file.
+        path: PathBuf,
+        /// The typed decompression failure.
+        source: InflateError,
+    },
+    /// A compressed element decompressed cleanly but its Adler-32 trailer
+    /// disagrees — the payload bytes are corrupt.
+    Checksum {
+        /// The offending file.
+        path: PathBuf,
+        /// Checksum stored in the stream trailer.
+        expected: u32,
+        /// Checksum of the decompressed payload.
+        actual: u32,
+    },
+    /// A variable the xlsa17 layout requires is absent.
+    MissingVariable {
+        /// The file searched.
+        path: PathBuf,
+        /// The required variable name.
+        name: String,
+    },
+    /// The variables are present but disagree with the xlsa17 schema
+    /// (dimension mismatches, labels outside the `att` class count,
+    /// out-of-range split indices, non-integral index values).
+    Schema {
+        /// The file whose contents violate the schema.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// Writing the converted bundle failed (wraps the core dataset error).
+    Data(DataError),
+}
+
+impl std::fmt::Display for MatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            MatError::Truncated { path, message } => {
+                write!(f, "{} is truncated: {message}", path.display())
+            }
+            MatError::Header { path, message } => {
+                write!(f, "bad MAT header in {}: {message}", path.display())
+            }
+            MatError::UnsupportedV73 { path } => write!(
+                f,
+                "{} is a MAT v7.3 (HDF5) file, which this importer does not read; \
+                 re-save it with save(..., '-v7')",
+                path.display()
+            ),
+            MatError::Unsupported { path, message } => {
+                write!(
+                    f,
+                    "unsupported MAT construct in {}: {message}",
+                    path.display()
+                )
+            }
+            MatError::Element { path, message } => {
+                write!(f, "malformed element in {}: {message}", path.display())
+            }
+            MatError::Inflate { path, source } => {
+                write!(f, "bad compressed element in {}: {source}", path.display())
+            }
+            MatError::Checksum {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "corrupt compressed element in {}: Adler-32 trailer {expected:#010x} \
+                 but payload hashes to {actual:#010x}",
+                path.display()
+            ),
+            MatError::MissingVariable { path, name } => {
+                write!(f, "{} does not define variable '{name}'", path.display())
+            }
+            MatError::Schema { path, message } => {
+                write!(
+                    f,
+                    "xlsa17 schema violation in {}: {message}",
+                    path.display()
+                )
+            }
+            MatError::Data(e) => write!(f, "bundle write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatError::Io { source, .. } => Some(source),
+            MatError::Inflate { source, .. } => Some(source),
+            MatError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for MatError {
+    fn from(e: DataError) -> Self {
+        MatError::Data(e)
+    }
+}
+
+impl MatError {
+    /// Wrap an I/O error with the path it occurred on.
+    pub(crate) fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        MatError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Build a [`MatError::Header`].
+    pub(crate) fn header(path: impl Into<PathBuf>, message: impl Into<String>) -> Self {
+        MatError::Header {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Build a [`MatError::Element`].
+    pub(crate) fn element(path: impl Into<PathBuf>, message: impl Into<String>) -> Self {
+        MatError::Element {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Build a [`MatError::Truncated`].
+    pub(crate) fn truncated(path: impl Into<PathBuf>, message: impl Into<String>) -> Self {
+        MatError::Truncated {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Build a [`MatError::Unsupported`].
+    pub(crate) fn unsupported(path: impl Into<PathBuf>, message: impl Into<String>) -> Self {
+        MatError::Unsupported {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Build a [`MatError::Schema`].
+    pub(crate) fn schema(path: impl Into<PathBuf>, message: impl Into<String>) -> Self {
+        MatError::Schema {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Translate an `io::Error` raised while reading (possibly decompressed)
+    /// element bytes into the right typed variant: typed inflate failures
+    /// keep their structure (checksum mismatches get their own variant),
+    /// unexpected EOF becomes [`MatError::Truncated`], everything else is
+    /// plain I/O.
+    pub(crate) fn from_read(path: impl Into<PathBuf>, err: std::io::Error) -> Self {
+        let path = path.into();
+        if let Some(inf) = InflateError::from_io(&err) {
+            return match *inf {
+                InflateError::ChecksumMismatch { expected, actual } => MatError::Checksum {
+                    path,
+                    expected,
+                    actual,
+                },
+                ref other => MatError::Inflate {
+                    path,
+                    source: other.clone(),
+                },
+            };
+        }
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            return MatError::truncated(path, "file ended inside an element's data");
+        }
+        MatError::Io { path, source: err }
+    }
+}

@@ -1,0 +1,47 @@
+//! # zsl-mat — std-only MATLAB `.mat` ingestion
+//!
+//! The published GZSL benchmarks (AWA2, CUB, SUN, APY) ship as MAT-file
+//! level-5 binaries — `res101.mat` feature dumps plus `att_splits.mat`
+//! attribute/split files in the xlsa17 "Proposed Splits" layout. This crate
+//! reads that format with **zero dependencies beyond `std`** and converts
+//! it into the bundle directories [`zsl_core`] trains from, so the real
+//! benchmarks run end-to-end through the same loaders, trainers, and
+//! evaluation protocol as the synthetic fixtures.
+//!
+//! Three layers:
+//!
+//! | Module | Role |
+//! |--------|------|
+//! | [`inflate`] | std-only RFC 1950/1951 zlib decompressor (fixed + dynamic Huffman, stored blocks, Adler-32 verification) for v7 `miCOMPRESSED` elements |
+//! | [`mat5`] | the MAT level-5 container: header/endianness validation, tag/element scan, `miMATRIX` sub-element tree, lazy numeric reads; [`stream`] adds bounded-memory column streaming |
+//! | [`xlsa`] | the xlsa17 schema mapping: `res101.mat` + `att_splits.mat` → `features.zsb` + `signatures.csv` + `splits.txt` |
+//!
+//! The `zsl-import` binary wraps [`MatBundle::convert_to_zsb`] as a CLI.
+//!
+//! Design commitments, tested in `tests/`:
+//!
+//! - **Typed rejection, never a panic**: truncated tags, bad magic, MAT
+//!   v7.3/HDF5 containers, wrong endian indicators, corrupt Adler-32
+//!   trailers, and schema mismatches against `att` all surface as
+//!   [`MatError`] variants.
+//! - **Bounded memory**: feature matrices are decoded `chunk_rows` columns
+//!   at a time and streamed into [`zsl_core::ZsbWriter`]; peak resident
+//!   feature memory is `O(chunk_rows x d)`, never `O(N x d)`.
+//! - **Bit-identical imports**: a dataset round-tripped through a `.mat`
+//!   file (either endianness, compressed or not) and back through the
+//!   bundle loader produces the *same bytes* — and therefore the same
+//!   [`zsl_core::GzslReport`] bits — as the in-memory original.
+
+pub mod error;
+pub mod inflate;
+pub mod mat5;
+pub mod stream;
+pub mod writer;
+pub mod xlsa;
+
+pub use error::MatError;
+pub use inflate::{adler32, InflateError, ZlibDecoder};
+pub use mat5::{ByteOrder, MatClass, MatFile, MatVar, NumericArray};
+pub use stream::ColumnChunkReader;
+pub use writer::{ArrayOpts, Compression, MatWriter};
+pub use xlsa::{ImportSummary, MatBundle, DEFAULT_CHUNK_ROWS};

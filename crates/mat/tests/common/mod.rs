@@ -1,0 +1,163 @@
+//! Shared fixture machinery for the `zsl-mat` integration tests: a seeded
+//! synthetic dataset in xlsa17 shape, and a helper that serializes it as a
+//! `res101.mat` + `att_splits.mat` pair in any byte order / compression.
+#![allow(dead_code)] // not every test binary uses every helper
+
+use std::path::{Path, PathBuf};
+use zsl_core::data::Rng;
+use zsl_mat::{ArrayOpts, ByteOrder, Compression, MatWriter};
+
+/// A synthetic dataset laid out exactly like an xlsa17 benchmark.
+///
+/// The `features` buffer is simultaneously the column-major `d x n` MATLAB
+/// matrix (column `i` = sample `i`) and the row-major `n x d` matrix the
+/// in-memory path uses — the byte layouts coincide, which is the identity
+/// the importer exploits. Same for `att` (column-major `a x z` == row-major
+/// `z x a`).
+pub struct SynthXlsa {
+    /// Samples.
+    pub n: usize,
+    /// Feature dimension.
+    pub d: usize,
+    /// Classes (first `seen` are seen).
+    pub z: usize,
+    /// Attributes per class.
+    pub a: usize,
+    /// Features: col-major `d x n` / row-major `n x d`.
+    pub features: Vec<f64>,
+    /// 1-based class label per sample.
+    pub labels: Vec<u32>,
+    /// Attributes: col-major `a x z` / row-major `z x a`.
+    pub att: Vec<f64>,
+    /// 0-based trainval sample indices.
+    pub trainval: Vec<usize>,
+    /// 0-based test-seen sample indices.
+    pub test_seen: Vec<usize>,
+    /// 0-based test-unseen sample indices.
+    pub test_unseen: Vec<usize>,
+}
+
+/// Deterministic synthetic xlsa17 benchmark: 5 classes (3 seen, 2 unseen),
+/// class-informative features so the GZSL accuracies are non-degenerate.
+pub fn synth_xlsa(seed: u64) -> SynthXlsa {
+    let (n, d, z, a) = (40usize, 6usize, 5usize, 4usize);
+    let seen = 3usize;
+    let mut rng = Rng::new(seed);
+
+    // Class signatures: random normal columns (a x z, column-major).
+    let att: Vec<f64> = (0..a * z).map(|_| rng.normal()).collect();
+    // Random linear lift from attribute space to feature space.
+    let lift: Vec<f64> = (0..d * a).map(|_| rng.normal()).collect();
+
+    let mut labels = Vec::with_capacity(n);
+    let mut features = vec![0.0; n * d];
+    for i in 0..n {
+        let class = i % z; // 0-based
+        labels.push(class as u32 + 1);
+        let sig = &att[class * a..(class + 1) * a];
+        for row in 0..d {
+            let mut v = 0.0;
+            for (k, &s) in sig.iter().enumerate() {
+                v += lift[row * a + k] * s;
+            }
+            features[i * d + row] = v + 0.1 * rng.normal();
+        }
+    }
+
+    let mut trainval = Vec::new();
+    let mut test_seen = Vec::new();
+    let mut test_unseen = Vec::new();
+    let mut seen_count = vec![0usize; z];
+    for i in 0..n {
+        let class = i % z;
+        if class >= seen {
+            test_unseen.push(i);
+        } else if seen_count[class] % 4 == 0 {
+            test_seen.push(i);
+            seen_count[class] += 1;
+        } else {
+            trainval.push(i);
+            seen_count[class] += 1;
+        }
+    }
+
+    SynthXlsa {
+        n,
+        d,
+        z,
+        a,
+        features,
+        labels,
+        att,
+        trainval,
+        test_seen,
+        test_unseen,
+    }
+}
+
+/// How the pair's numeric payloads are stored.
+#[derive(Clone, Copy)]
+pub struct PairOpts {
+    /// File byte order.
+    pub order: ByteOrder,
+    /// Top-level element compression.
+    pub compression: Compression,
+    /// Store labels/locs as narrow integer element types (as MATLAB's
+    /// auto-narrowing does) instead of `miDOUBLE`.
+    pub narrow: bool,
+}
+
+/// Serialize the dataset as `res101.mat` + `att_splits.mat` under `dir`.
+pub fn write_pair(dir: &Path, ds: &SynthXlsa, opts: PairOpts) -> (PathBuf, PathBuf) {
+    std::fs::create_dir_all(dir).expect("fixture dir");
+    let array_opts = |store_as| ArrayOpts {
+        store_as,
+        compression: opts.compression,
+        ..ArrayOpts::default()
+    };
+    let int_ty = if opts.narrow {
+        zsl_mat::mat5::mi::UINT16
+    } else {
+        zsl_mat::mat5::mi::DOUBLE
+    };
+
+    let res_path = dir.join("res101.mat");
+    let mut res = MatWriter::new(opts.order);
+    res.add_array(
+        "features",
+        &[ds.d, ds.n],
+        &ds.features,
+        array_opts(zsl_mat::mat5::mi::DOUBLE),
+    );
+    let labels_f64: Vec<f64> = ds.labels.iter().map(|&l| l as f64).collect();
+    res.add_array("labels", &[ds.n, 1], &labels_f64, array_opts(int_ty));
+    res.write_to(&res_path).expect("write res101.mat");
+
+    let att_path = dir.join("att_splits.mat");
+    let mut att = MatWriter::new(opts.order);
+    att.add_array(
+        "att",
+        &[ds.a, ds.z],
+        &ds.att,
+        array_opts(zsl_mat::mat5::mi::DOUBLE),
+    );
+    let one_based = |ix: &[usize]| -> Vec<f64> { ix.iter().map(|&i| i as f64 + 1.0).collect() };
+    for (name, ix) in [
+        ("trainval_loc", &ds.trainval),
+        ("test_seen_loc", &ds.test_seen),
+        ("test_unseen_loc", &ds.test_unseen),
+    ] {
+        att.add_array(name, &[ix.len(), 1], &one_based(ix), array_opts(int_ty));
+    }
+    att.write_to(&att_path).expect("write att_splits.mat");
+
+    (res_path, att_path)
+}
+
+/// Unique scratch directory for a test.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zsl_mat_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}

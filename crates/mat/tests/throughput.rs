@@ -1,0 +1,121 @@
+//! Import throughput baseline for the `.mat` ingestion path.
+//!
+//! Prints a stable `[bench] mat_import_throughput` line so future PRs can
+//! diff importer speed. `#[ignore]`d like the core harness; run with
+//!
+//! ```sh
+//! cargo test --release -p zsl-mat --test throughput -- --ignored --nocapture
+//! ```
+//!
+//! `ZSL_BENCH_SMOKE=1` shrinks the workload (CI); `ZSL_BENCH_JSON=<path>`
+//! merges a `"mat_import"` entry into the benchmark JSON written by the
+//! core throughput suite.
+
+mod common;
+
+use common::scratch_dir;
+use std::time::Instant;
+use zsl_core::data::Rng;
+use zsl_mat::{mat5::mi, ArrayOpts, ByteOrder, Compression, MatBundle, MatWriter};
+
+fn smoke() -> bool {
+    std::env::var("ZSL_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+#[test]
+#[ignore = "timing harness; run with --release -- --ignored --nocapture"]
+fn mat_import_throughput() {
+    let (n, d, z, a) = if smoke() {
+        (400usize, 32usize, 10usize, 8usize)
+    } else {
+        (2000usize, 128usize, 20usize, 16usize)
+    };
+    let mut rng = Rng::new(0xBEEF);
+    let features: Vec<f64> = (0..n * d).map(|_| rng.normal()).collect();
+    let att: Vec<f64> = (0..a * z).map(|_| rng.normal()).collect();
+    let labels: Vec<f64> = (0..n).map(|i| (i % z) as f64 + 1.0).collect();
+    let locs: [Vec<f64>; 3] = [
+        (1..=n / 2).map(|i| i as f64).collect(),
+        (n / 2 + 1..=3 * n / 4).map(|i| i as f64).collect(),
+        (3 * n / 4 + 1..=n).map(|i| i as f64).collect(),
+    ];
+
+    let dir = scratch_dir("bench_import");
+    let mut timings = Vec::new();
+    for (tag, compression) in [
+        ("plain", Compression::None),
+        ("zlib", Compression::FixedHuffman),
+    ] {
+        let sub = dir.join(tag);
+        std::fs::create_dir_all(&sub).expect("dir");
+        let opts = ArrayOpts {
+            store_as: mi::DOUBLE,
+            compression,
+            ..ArrayOpts::default()
+        };
+        let mut res = MatWriter::new(ByteOrder::Little);
+        res.add_array("features", &[d, n], &features, opts);
+        res.add_array("labels", &[n, 1], &labels, opts);
+        let res_path = sub.join("res101.mat");
+        res.write_to(&res_path).expect("write res");
+        let mut attf = MatWriter::new(ByteOrder::Little);
+        attf.add_array("att", &[a, z], &att, opts);
+        for (name, loc) in ["trainval_loc", "test_seen_loc", "test_unseen_loc"]
+            .iter()
+            .zip(&locs)
+        {
+            attf.add_array(name, &[loc.len(), 1], loc, opts);
+        }
+        let att_path = sub.join("att_splits.mat");
+        attf.write_to(&att_path).expect("write att");
+
+        let start = Instant::now();
+        let bundle = MatBundle::open(&res_path, &att_path).expect("open");
+        let out = sub.join("bundle");
+        bundle.convert_to_zsb(&out, 256).expect("convert");
+        let secs = start.elapsed().as_secs_f64();
+        timings.push((tag, secs, n as f64 / secs));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let line = format!(
+        "[bench] mat_import_throughput n={n} d={d} chunk_rows=256: \
+         plain={:.4}s ({:.0} samples/s) zlib={:.4}s ({:.0} samples/s)",
+        timings[0].1, timings[0].2, timings[1].1, timings[1].2
+    );
+    println!("{line}");
+
+    if let Ok(json_path) = std::env::var("ZSL_BENCH_JSON") {
+        merge_bench_json(&json_path, n, d, &timings);
+        println!("[bench] merged mat_import into {json_path}");
+    }
+}
+
+/// Insert (or replace) a single `"mat_import"` line in the benchmark JSON
+/// the core suite writes, just before its closing brace. Keeps this test
+/// and the core writer from fighting over the file format: the core suite
+/// owns the document, we own exactly one line of it.
+fn merge_bench_json(path: &str, n: usize, d: usize, timings: &[(&str, f64, f64)]) {
+    let entry = format!(
+        "  ,\"mat_import\": {{ \"n\": {n}, \"d\": {d}, \"chunk_rows\": 256, \
+         \"plain_s\": {:.4}, \"plain_rows_per_s\": {:.0}, \
+         \"zlib_s\": {:.4}, \"zlib_rows_per_s\": {:.0} }}",
+        timings[0].1, timings[0].2, timings[1].1, timings[1].2
+    );
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| "{\n  \"bench\": \"core-trainers\"\n}\n".to_string());
+    let kept: Vec<&str> = doc
+        .lines()
+        .filter(|l| !l.trim_start().starts_with(",\"mat_import\""))
+        .collect();
+    let Some(close) = kept.iter().rposition(|l| l.trim() == "}") else {
+        eprintln!("[bench] {path} has no closing brace; leaving it untouched");
+        return;
+    };
+    let mut out: Vec<String> = kept[..close].iter().map(|s| s.to_string()).collect();
+    out.push(entry);
+    out.extend(kept[close..].iter().map(|s| s.to_string()));
+    let mut text = out.join("\n");
+    text.push('\n');
+    std::fs::write(path, text).expect("write bench json");
+}

@@ -17,3 +17,7 @@ build:
 # Public-API docs must stay warning-free (CI enforces the same flag).
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+# Regenerate the committed .mat golden fixtures and print digest constants.
+import-fixtures:
+    cargo test -p zsl-mat --test golden_import -- --ignored --nocapture
